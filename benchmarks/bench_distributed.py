@@ -1,0 +1,55 @@
+"""Distributed-memory extension (the paper's future-work MPI layer).
+
+Not a paper figure — the paper *anticipates* MPI distribution for the
+non-English expansion — but the layer exists here, so the bench measures
+what the paper would have had to: per-rank work shrinks while the
+reduce traffic grows with rank count, and results stay bit-identical to
+the single-node engine.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine.distributed import distributed_country_query
+from repro.engine.query import aggregated_country_query
+
+
+@pytest.mark.parametrize("n_ranks", [2, 4, 8])
+def bench_distributed_query(benchmark, bench_store, n_ranks):
+    report = benchmark.pedantic(
+        distributed_country_query, args=(bench_store, n_ranks), rounds=3, iterations=1
+    )
+    local = aggregated_country_query(bench_store)
+    assert np.array_equal(report.result.cross_counts, local.cross_counts)
+    assert report.traffic.bytes > 0
+
+
+def bench_distributed_traffic_report(benchmark, bench_store, save_output):
+    """Record the communication-volume table for the scaling writeup."""
+
+    def measure():
+        rows = []
+        for n_ranks in (1, 2, 4, 8):
+            rep = distributed_country_query(bench_store, n_ranks)
+            rows.append(
+                (
+                    n_ranks,
+                    rep.traffic.messages,
+                    rep.traffic.bytes / 1e6,
+                    rep.bytes_per_rank / 1e6,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    from repro.analysis.report import render_table
+
+    text = render_table(
+        ["ranks", "messages", "total MB", "MB/rank"],
+        rows,
+        title="Distributed aggregated query: interconnect traffic",
+        floatfmt=".2f",
+    )
+    save_output("distributed", text)
+    # Traffic grows with ranks; per-rank traffic stays bounded.
+    assert rows[-1][2] > rows[1][2]

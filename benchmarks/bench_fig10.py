@@ -1,0 +1,26 @@
+"""Figure 10 — quarterly average and median publishing delay.
+
+Paper: "a clear decline in average delay, especially in 2019. On the
+other hand, the median values seem to be quite stable."  (The synthetic
+window also shows a cold-start ramp in the first quarters: before
+mid-2015 there are no old events to report on, so long-delay articles
+cannot exist yet.  The paper's trend claims are asserted on 2016+.)
+"""
+
+from repro.benchlib import fig10_quarterly_delay
+
+
+def bench_fig10(benchmark, bench_store, save_output):
+    result = benchmark(fig10_quarterly_delay, bench_store)
+    save_output("fig10", result.text)
+
+    qd = result.data
+    # Average declines from 2016-2017 into 2019.
+    early_mean = qd.mean[4:12].mean()
+    late_mean = qd.mean[16:20].mean()
+    assert late_mean < early_mean
+
+    # Median stays flat (well within a couple of intervals).
+    assert qd.median[4:20].max() - qd.median[4:20].min() <= 6
+    # And the average sits far above the median (heavy tail).
+    assert early_mean > 2 * qd.median[4:12].mean()

@@ -1,0 +1,19 @@
+"""Figure 11 — articles with publishing delay beyond 24 hours, quarterly.
+
+Paper: "a significant decrease in the number of these articles which
+does at least partially explain the reduction [in average delay]".
+"""
+
+from repro.benchlib import fig11_late_articles
+
+
+def bench_fig11(benchmark, bench_store, save_output):
+    result = benchmark(fig11_late_articles, bench_store)
+    save_output("fig11", result.text)
+
+    late = result.data
+    early = late[4:12].mean()  # 2016-2017
+    recent = late[16:20].mean()  # 2019
+    assert recent < early
+    # The decline is meaningful, not noise: at least ~15%.
+    assert recent < 0.85 * early

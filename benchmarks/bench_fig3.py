@@ -1,0 +1,22 @@
+"""Figure 3 — active sources per quarter.
+
+Paper: ~20,996 sources tracked but only about one third active in any
+given quarter, relatively stable over the window.  Asserted: the
+active fraction stays in a band around 1/3 and the series is flat-ish
+(no order-of-magnitude swings after the partial first quarter).
+"""
+
+from repro.benchlib import fig3_sources_per_quarter
+
+
+def bench_fig3(benchmark, bench_store, save_output):
+    result = benchmark(fig3_sources_per_quarter, bench_store)
+    save_output("fig3", result.text)
+
+    spq = result.data
+    assert len(spq) == 20
+    frac = spq / bench_store.n_sources
+    # Paper: roughly one third active per quarter.
+    assert 0.2 < frac[1:].mean() < 0.55
+    # Stability: quarters within 2x of each other (excluding partial Q1).
+    assert spq[1:].max() < 2 * spq[1:].min()

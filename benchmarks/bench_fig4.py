@@ -1,0 +1,21 @@
+"""Figure 4 — events observed per quarter.
+
+Paper: stable volumes with a slight decrease through 2018-2019, and a
+partial first quarter (the window opens 2015-02-18).
+"""
+
+from repro.benchlib import fig4_events_per_quarter
+
+
+def bench_fig4(benchmark, bench_store, save_output):
+    result = benchmark(fig4_events_per_quarter, bench_store)
+    save_output("fig4", result.text)
+
+    epq = result.data
+    assert epq.sum() == bench_store.n_events
+    # Partial first quarter is visibly smaller than a typical quarter.
+    assert epq[0] < 0.8 * epq[1:5].mean()
+    # Slight decline into 2018-2019 (compare 2016-17 to 2019).
+    assert epq[16:20].mean() < epq[4:12].mean()
+    # ...but "relatively stable": the decline is mild, not a collapse.
+    assert epq[16:20].mean() > 0.5 * epq[4:12].mean()

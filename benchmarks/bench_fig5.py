@@ -1,0 +1,18 @@
+"""Figure 5 — articles captured per quarter.
+
+Same shape expectations as Fig 4 (stable, mild late decline, partial
+first quarter), measured over the mentions table.
+"""
+
+from repro.benchlib import fig5_articles_per_quarter
+
+
+def bench_fig5(benchmark, bench_store, save_output):
+    result = benchmark(fig5_articles_per_quarter, bench_store)
+    save_output("fig5", result.text)
+
+    apq = result.data
+    assert apq.sum() == bench_store.n_mentions
+    assert apq[0] < 0.9 * apq[1:5].mean()
+    assert apq[16:20].mean() < apq[4:12].mean()
+    assert apq[16:20].mean() > 0.5 * apq[4:12].mean()

@@ -1,0 +1,25 @@
+"""Figure 7 — follow-reporting matrix of the top-50 publishers.
+
+Paper: "heavy follow-reporting among the top publishers from Table IV,
+some co-reporting between those and the rest, and low co-reporting among
+the rest" — a bright block in the corner of the 50x50 matrix.
+"""
+
+import numpy as np
+
+from repro.benchlib import fig7_follow_matrix_top50
+
+
+def bench_fig7(benchmark, bench_store, save_output):
+    result = benchmark(fig7_follow_matrix_top50, bench_store, 50)
+    save_output("fig7", result.text)
+
+    _, f = result.data
+    assert f.shape == (50, 50)
+    off_eye = ~np.eye(50, dtype=bool)
+
+    # Block structure: the top-12 corner glows relative to the tail block.
+    head = f[:12, :12][~np.eye(12, dtype=bool)].mean()
+    tail = f[25:, 25:][~np.eye(25, dtype=bool)].mean()
+    assert head > 2 * tail
+    assert (f[off_eye] >= 0).all() and (f[off_eye] <= 1).all()

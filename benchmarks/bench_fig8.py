@@ -1,0 +1,27 @@
+"""Figure 8 — 50x50 country cross-reporting matrix (log scale).
+
+Paper: "countries outside the Top 10 contribute little to the global
+English-speaking news. However, the bright first row indicates that
+almost all of the 50 countries report heavily on the US."
+"""
+
+import numpy as np
+
+from repro.benchlib import fig8_cross_matrix_top50
+from repro.engine import aggregated_country_query
+
+
+def bench_fig8(benchmark, bench_store, save_output):
+    result = benchmark(aggregated_country_query, bench_store)
+    table = fig8_cross_matrix_top50(bench_store, result, 50)
+    save_output("fig8", table.text)
+
+    reported, pubs, block = table.data
+    # Bright first row: the US row outweighs every other row.
+    rows = block.sum(axis=1)
+    assert rows[0] == rows.max()
+    # Top-10 publisher columns carry the overwhelming share of articles.
+    top10_share = block[:, :10].sum() / max(1, block.sum())
+    assert top10_share > 0.8
+    # Most of the 50 countries have at least one article about the US.
+    assert (block[0] > 0).mean() > 0.5

@@ -1,0 +1,37 @@
+"""Figure 9 — per-source delay histograms (min / average / median / max).
+
+Paper: ~half the sites have min delay 1; medians peak at 4-5 hours with
+rapid decay toward the 24 h limit; max delays cluster at the 24 h /
+week / month / year news-cycle modes; averages mostly fall in the
+2-8 hour window with a slow long-delay group.
+"""
+
+import numpy as np
+
+from repro.benchlib import fig9_delay_histograms
+
+
+def bench_fig9(benchmark, bench_store, save_output):
+    result = benchmark(fig9_delay_histograms, bench_store)
+    save_output("fig9", result.text)
+
+    stats, hists, groups = result.data
+    ids = stats.covered()
+
+    # Min panel: a large group of sources has reported within 15 min.
+    assert (stats.min[ids] == 1).mean() > 0.3
+
+    # Median panel: the bulk sits between 2 and 8 hours (8..32 intervals).
+    med = stats.median[ids]
+    assert ((med >= 4) & (med <= 48)).mean() > 0.5
+
+    # Max panel: news-cycle modes at day/week/month/year.
+    mx = stats.max[ids]
+    near = lambda c: ((mx >= 0.8 * c) & (mx <= c)).sum()  # noqa: E731
+    mode_mass = near(96) + near(672) + near(2880) + (mx > 30_000).sum()
+    assert mode_mass / len(ids) > 0.5
+
+    # Three speed groups, with "average" (the 24h cycle) the largest.
+    assert len(groups["average"]) > max(len(groups["fast"]), len(groups["slow"]))
+    # ...and a non-trivial fast group (the digital-wildfire core pool).
+    assert len(groups["fast"]) > 0

@@ -1,0 +1,21 @@
+"""Table I — dataset statistics.
+
+Paper (full GDELT 2015-02-18..2019-12-31): 20,996 sources; 324,564,472
+events; 168,266 capture intervals; 1,090,310,118 articles; min 1 / max
+5234 articles per event; weighted average 3.36.  At synthetic scale the
+absolute counts shrink proportionally; the weighted average and the
+min/max *shape* (min = 1, max = a headline event covered by a large
+share of sources) must hold.
+"""
+
+from repro.benchlib import table1_dataset_statistics
+
+
+def bench_table1(benchmark, bench_store, save_output):
+    result = benchmark(table1_dataset_statistics, bench_store)
+    save_output("table1", result.text)
+    stats = result.data
+    assert stats.min_articles_per_event == 1
+    assert 2.0 < stats.weighted_avg_articles_per_event < 5.0
+    # The most reported event reaches a large share of the source pool.
+    assert stats.max_articles_per_event > 0.1 * stats.n_sources

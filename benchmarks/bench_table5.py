@@ -1,0 +1,29 @@
+"""Table V — country co-reporting (Jaccard).
+
+Paper: a strong UK-USA-Australia cluster (0.091-0.113), India attached
+more weakly (0.016-0.028), Canada *not* in the cluster (~0.003-0.006
+vs the anglosphere), and near-zero values for the remaining countries.
+The benchmark times the full aggregated country query (the paper's
+Section VI-G workload) and asserts the cluster ordering.
+"""
+
+from repro.benchlib import table5_country_coreporting
+from repro.engine import aggregated_country_query
+from repro.gdelt.codes import COUNTRIES
+
+_POS = {c.fips: i for i, c in enumerate(COUNTRIES)}
+
+
+def bench_table5(benchmark, bench_store, save_output):
+    result = benchmark(aggregated_country_query, bench_store)
+    text = table5_country_coreporting(bench_store, result).text
+    save_output("table5", text)
+
+    j = result.jaccard()
+    uk, us, au, india, ca = (
+        _POS["UK"], _POS["US"], _POS["AS"], _POS["IN"], _POS["CA"],
+    )
+    anglo_min = min(j[uk, us], j[uk, au], j[us, au])
+    assert anglo_min > j[india, us] > j[ca, us]
+    assert j[ca, us] < 0.5 * j[uk, us]
+    assert j[_POS["RP"], uk] < 0.3 * anglo_min

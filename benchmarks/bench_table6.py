@@ -1,0 +1,39 @@
+"""Table VI — country cross-reporting article counts.
+
+Paper: the US row dwarfs all others (188M articles from UK publishers
+alone); reported-country rows ordered USA, UK, India, China, Australia,
+Canada, Nigeria, Russia, Israel, Pakistan; publishing columns ordered
+UK, USA, Australia, India, ...  The benchmark asserts row dominance and
+both orderings' heads.
+"""
+
+import numpy as np
+
+from repro.analysis.crossreporting import (
+    publishing_country_order,
+    reported_country_order,
+)
+from repro.benchlib import table6_cross_counts
+from repro.engine import aggregated_country_query
+from repro.gdelt.codes import COUNTRIES
+
+_POS = {c.fips: i for i, c in enumerate(COUNTRIES)}
+
+
+def bench_table6(benchmark, bench_store, save_output):
+    result = benchmark(aggregated_country_query, bench_store)
+    text = table6_cross_counts(bench_store, result).text
+    save_output("table6", text)
+
+    reported = reported_country_order(bench_store, result, 10)
+    pubs = publishing_country_order(result, 10)
+    assert reported[0] == _POS["US"]
+    assert pubs[0] == _POS["UK"]
+    assert _POS["US"] in pubs[:3]
+
+    # The US row carries more articles than any other row.
+    rows = result.cross_counts.sum(axis=1)
+    assert rows.argmax() == _POS["US"]
+    # And it dominates every publishing column (Fig 8's bright first row).
+    block = result.cross_counts[np.ix_(reported, pubs)]
+    assert (block[0] >= block[1:].max(axis=0)).all()

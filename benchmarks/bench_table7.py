@@ -1,0 +1,35 @@
+"""Table VII — cross-reporting as percentages of each publisher's output.
+
+Paper: the US consumes 33-47 % of every English-speaking country's
+articles; the UK 3.7-5.7 %; remaining targets low single digits; and the
+percentages are strikingly uniform across publisher countries ("a large
+consensus on which countries' events are newsworthy").
+"""
+
+import numpy as np
+
+from repro.analysis.crossreporting import publishing_country_order
+from repro.benchlib import table7_cross_percentages
+from repro.engine import aggregated_country_query
+from repro.gdelt.codes import COUNTRIES
+
+_POS = {c.fips: i for i, c in enumerate(COUNTRIES)}
+
+
+def bench_table7(benchmark, bench_store, save_output):
+    result = benchmark(aggregated_country_query, bench_store)
+    text = table7_cross_percentages(bench_store, result).text
+    save_output("table7", text)
+
+    pct = result.percentages()
+    pubs = publishing_country_order(result, 8)
+    us_row = pct[_POS["US"], pubs]
+    uk_row = pct[_POS["UK"], pubs]
+
+    assert (us_row > 15).all()  # paper: 33-47%
+    assert us_row.max() < 60
+    assert (uk_row < us_row).all()
+    # Consensus: the US share varies by less than ~3x across publishers.
+    assert us_row.max() / us_row.min() < 3.0
+    # Columns are percentages of the publisher's own output.
+    assert (pct.sum(axis=0) <= 100.0 + 1e-9).all()

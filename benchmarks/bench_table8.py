@@ -1,0 +1,35 @@
+"""Table VIII — publication delay statistics of the top-10 publishers.
+
+Paper: every top publisher has min delay 1 (something within 15 min),
+median 13-16 intervals (~4 h: the 24-hour news cycle group), average
+37-48 (skewed by rare one-year catch-up articles), and max 35135
+(an article exactly one year after its event).
+"""
+
+import numpy as np
+
+from repro.benchlib import table8_top_publisher_delays
+from repro.synth.config import DELAY_CAP
+
+
+def bench_table8(benchmark, bench_store, save_output):
+    result = benchmark(table8_top_publisher_delays, bench_store, 10)
+    save_output("table8", result.text)
+
+    ids, stats = result.data
+    assert (stats.min[ids] == 1).all()
+    med = stats.median[ids]
+    assert (med >= 8).all() and (med <= 32).all()  # paper: 13-16
+    mean = stats.mean[ids]
+    assert (mean > med).all()  # skew from the high-delay tail
+    # The one-year outlier articles pin max = 35135 (all 10 publishers in
+    # the paper).  Whether a given publisher collects one is Poisson in
+    # its article count, so the expectation is scale-aware: at the
+    # calibrated preset every publisher expects several; at the small
+    # preset only a majority-of-expectation bound is meaningful.
+    at_cap = (stats.max[ids] == DELAY_CAP).sum()
+    expected_per_pub = float(stats.count[ids].mean()) * 4.0e-4
+    if expected_per_pub >= 2.0:
+        assert at_cap >= 8
+    else:
+        assert at_cap >= 1

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Discovering co-owned publisher clusters (the paper's Section VI-B).
+
+Fake-news monitoring needs to know which "independent" outlets actually
+move together: the paper found 8 of GDELT's top-10 publishers were
+co-owned regional British papers, and suggests Markov clustering of the
+co-reporting matrix to find such groups automatically.
+
+This example runs that full loop:
+
+1. compute the co-reporting (Jaccard) matrix of the top-50 publishers,
+2. compute the time-aware follow-reporting matrix (who leads, who follows),
+3. cluster the symmetric matrix with MCL,
+4. validate the discovered cluster against the generator's ground truth.
+
+Run:  python examples/copublishing_clusters.py
+"""
+
+import numpy as np
+
+from repro import analysis, engine, ingest, synth
+
+
+def main() -> None:
+    ds = synth.generate_dataset(synth.small_config())
+    events, mentions, dicts = ingest.dataset_to_arrays(ds)
+    store = engine.GdeltStore.from_arrays(events, mentions, dicts)
+
+    top = analysis.top_publishers(store, 50)
+
+    # 1. Symmetric co-reporting: suited for clustering.
+    jac = analysis.source_coreporting(store, top)
+
+    # 2. Directional follow-reporting for the top-10 block (Table IV).
+    f = analysis.follow_reporting(store, top[:10])
+    print("Follow-reporting among the top 10 (f_ij, row=leader):")
+    print(analysis.render_table(
+        ["site"] + [f"#{j}" for j in range(10)],
+        [[store.sources[int(top[i])][:24]] + [round(float(x), 3) for x in f[i]]
+         for i in range(10)],
+    ))
+    print(f"column sums (share of articles that follow a top-10 site): "
+          f"{np.round(f.sum(axis=0), 2)}\n")
+
+    # 3. Markov clustering of the co-reporting matrix.  Major publishers
+    #    all co-report somewhat, so the diffuse background is removed
+    #    first; only above-background structure drives the flow.
+    sharp = analysis.sharpen_similarity(jac, background_percentile=90)
+    clusters = analysis.markov_clustering(sharp, inflation=2.0, self_loops=0.1)
+    print(f"MCL found {len(clusters)} clusters among the top 50 publishers")
+    main_cluster = clusters[0]
+    print("largest cluster:")
+    for pos in main_cluster:
+        print(f"   {store.sources[int(top[pos])]}")
+
+    # 4. Ground truth check: the generator knows who is co-owned.
+    gm = set(np.flatnonzero(ds.catalog.group_id == 0).tolist())
+    member_pos = {i for i, s in enumerate(top) if int(s) in gm}
+    hit = len(member_pos & set(main_cluster))
+    print(
+        f"\nground truth: {len(member_pos)} co-owned publishers in the "
+        f"top 50; the largest MCL cluster recovered {hit} of them"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Country coverage analysis (the paper's Sections VI-C/VI-D).
+
+One parallel pass over the mentions table — the paper's "single
+aggregated query" — produces all three country views at once:
+
+* Table V  — co-reporting between national news spheres (Jaccard);
+* Table VI — who reports on whom (article counts, asymmetric);
+* Table VII — the same as a share of each country's output.
+
+Publisher countries come from the TLD attribution rule; event countries
+from the GDELT geotag.
+
+Run:  python examples/country_coverage.py
+"""
+
+from repro import benchlib, engine, ingest, synth
+
+
+def main() -> None:
+    ds = synth.generate_dataset(synth.small_config())
+    events, mentions, dicts = ingest.dataset_to_arrays(ds)
+    store = engine.GdeltStore.from_arrays(events, mentions, dicts)
+
+    # The aggregated query, threaded (use more threads on bigger hosts).
+    with engine.ThreadExecutor(2) as ex:
+        result = engine.aggregated_country_query(store, ex)
+
+    print(benchlib.table5_country_coreporting(store, result).text)
+    print(benchlib.table6_cross_counts(store, result).text)
+    print(benchlib.table7_cross_percentages(store, result).text)
+
+    # The headline observations, extracted programmatically.
+    from repro.gdelt.codes import COUNTRIES
+
+    pos = {c.fips: i for i, c in enumerate(COUNTRIES)}
+    j = result.jaccard()
+    pct = result.percentages()
+    print("Headline findings:")
+    print(
+        f"  UK-USA co-reporting {j[pos['UK'], pos['US']]:.3f} vs "
+        f"Canada-USA {j[pos['CA'], pos['US']]:.3f} — Canada sits outside "
+        f"the UK/USA/Australia cluster."
+    )
+    print(
+        f"  {pct[pos['US'], pos['UK']]:.0f}% of UK articles and "
+        f"{pct[pos['US'], pos['RP']]:.0f}% of Philippine articles cover US "
+        f"events — a global consensus on US newsworthiness."
+    )
+
+
+if __name__ == "__main__":
+    main()

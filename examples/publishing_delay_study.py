@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Publishing-delay study (the paper's Sections VI-E/VI-F).
+
+Is the news business accelerating?  The paper measures, per source, the
+delay between an event and the articles mentioning it (in 15-minute
+GDELT capture intervals), classifies sources into fast / 24-hour-cycle /
+slow groups, and tracks the quarterly average vs median.
+
+The "fast" group matters most: several hundred near-real-time outlets
+form the core pool for studying digital wildfires.
+
+Run:  python examples/publishing_delay_study.py
+"""
+
+import numpy as np
+
+from repro import analysis, engine, ingest, synth
+from repro.gdelt.time_util import quarter_label
+
+
+def main() -> None:
+    ds = synth.generate_dataset(synth.small_config())
+    events, mentions, dicts = ingest.dataset_to_arrays(ds)
+    store = engine.GdeltStore.from_arrays(events, mentions, dicts)
+
+    # Per-source statistics (Fig 9 / Table VIII).
+    stats = analysis.per_source_delay_stats(store)
+    groups = analysis.speed_groups(stats)
+    covered = stats.covered()
+    print(f"{len(covered):,} sources published at least one article")
+    for name, ids in groups.items():
+        med = np.median(stats.median[ids]) if len(ids) else float("nan")
+        print(
+            f"  {name:>8}: {len(ids):>5,} sources "
+            f"(median of medians: {med:.0f} intervals = {med / 4:.1f} h)"
+        )
+
+    print("\nfastest near-real-time outlets (wildfire monitoring pool):")
+    fast = groups["fast"]
+    order = fast[np.argsort(stats.median[fast])][:8]
+    for sid in order:
+        print(
+            f"  {store.sources[int(sid)]:<28} median "
+            f"{stats.median[sid]:.0f} intervals, {stats.count[sid]:,} articles"
+        )
+
+    # News-cycle modes: where do sources' *maximum* delays cluster?
+    mx = stats.max[covered]
+    print("\nper-source max-delay modes (the print-era news cycles):")
+    for label, cyc in (("24 hours", 96), ("1 week", 672), ("1 month", 2880)):
+        share = ((mx > 0.8 * cyc) & (mx <= cyc)).mean()
+        print(f"  near {label:>9}: {share:6.1%} of sources")
+    print(f"  near   1 year: {(mx > 30000).mean():6.1%} of sources")
+
+    # Quarterly trend (Figs 10-11): declining mean, stable median.
+    qd = analysis.quarterly_delay(store)
+    late = analysis.late_articles_per_quarter(store)
+    print("\nquarter   avg-delay  median  >24h-articles")
+    for q in range(store.n_quarters()):
+        print(
+            f"{quarter_label(q)}   {qd.mean[q]:9.1f}  {qd.median[q]:6.1f}  "
+            f"{late[q]:>13,}"
+        )
+    drop = 1 - late[16:20].mean() / late[4:8].mean()
+    print(
+        f"\n>24h articles declined {drop:.0%} from 2016 to 2019 while the "
+        f"median delay stayed flat — the paper's Fig 10/11 finding: the "
+        f"high-delay tail is thinning, not the core news cycle speeding up."
+    )
+
+
+if __name__ == "__main__":
+    main()

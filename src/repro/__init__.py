@@ -1,0 +1,40 @@
+"""repro — a high-performance mining system for GDELT 2.0 data.
+
+A complete Python reproduction of "A System for High Performance Mining
+on GDELT Data" (Pogorelov, Schroeder, Filkukova, Langguth; IPDPS
+workshops 2020): the indexed binary storage format, the parallel
+in-memory query engine, the preprocessing/validation tool, a calibrated
+synthetic GDELT 2.0 generator standing in for the (offline-unavailable)
+real corpus, and every analysis from the paper's evaluation.
+
+Quickstart::
+
+    from repro import synth, ingest, engine, analysis
+
+    ds = synth.generate_dataset(synth.small_config())
+    events, mentions, dicts = ingest.dataset_to_arrays(ds)
+    store = engine.GdeltStore.from_arrays(events, mentions, dicts)
+
+    stats = analysis.dataset_statistics(store)        # Table I
+    top = analysis.top_publishers(store, 10)          # Section VI-A
+    f = analysis.follow_reporting(store, top)         # Table IV
+    result = engine.aggregated_country_query(store)   # Tables V-VII
+
+See DESIGN.md for the paper-to-module map and EXPERIMENTS.md for
+paper-vs-measured results of every table and figure.
+"""
+
+from repro import analysis, engine, gdelt, ingest, parallel, storage, synth
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "engine",
+    "gdelt",
+    "ingest",
+    "parallel",
+    "storage",
+    "synth",
+    "__version__",
+]

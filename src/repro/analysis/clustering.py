@@ -1,0 +1,139 @@
+"""Markov clustering (MCL) of co-reporting matrices.
+
+The paper points to Markov clustering [van Dongen 2000] on the symmetric
+co-reporting matrix as the way to discover co-owned publisher clusters
+beyond the obvious top-10 block.  This is a self-contained dense MCL:
+alternate *expansion* (matrix squaring — random-walk flow spreads) and
+*inflation* (element-wise powering + column normalization — strong flows
+strengthen) until the matrix converges to a doubly idempotent limit
+whose rows induce the clustering.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["markov_clustering", "clusters_from_flow", "sharpen_similarity"]
+
+
+def sharpen_similarity(
+    similarity: np.ndarray, background_percentile: float = 90.0
+) -> np.ndarray:
+    """Suppress the diffuse background of a dense similarity matrix.
+
+    Co-reporting matrices of major publishers are *dense*: every pair of
+    big outlets shares some events, so raw MCL either merges everything
+    (small self-loops) or shatters into singletons (large ones).  The
+    standard remedy is sparsification: entries below the given percentile
+    of the off-diagonal mass are zeroed and the rest shifted down, leaving
+    only above-background structure for the flow to follow.
+
+    Returns:
+        A new symmetric non-negative matrix with zero diagonal.
+    """
+    m = np.asarray(similarity, dtype=np.float64)
+    if m.ndim != 2 or m.shape[0] != m.shape[1]:
+        raise ValueError("similarity must be square")
+    if not 0 <= background_percentile < 100:
+        raise ValueError("background_percentile must be in [0, 100)")
+    off = m[~np.eye(m.shape[0], dtype=bool)]
+    if len(off) == 0:
+        return m.copy()
+    thr = np.percentile(off, background_percentile)
+    out = np.where(m >= thr, m - thr, 0.0)
+    np.fill_diagonal(out, 0.0)
+    return out
+
+
+def _normalize_columns(m: np.ndarray) -> np.ndarray:
+    s = m.sum(axis=0, keepdims=True)
+    s[s == 0] = 1.0
+    return m / s
+
+
+def markov_clustering(
+    similarity: np.ndarray,
+    inflation: float = 2.0,
+    max_iters: int = 60,
+    tol: float = 1e-6,
+    self_loops: float = 1.0,
+    prune: float = 1e-8,
+) -> list[list[int]]:
+    """Cluster a symmetric non-negative similarity matrix with MCL.
+
+    Args:
+        similarity: (n, n) symmetric, non-negative (e.g. a Jaccard
+            co-reporting matrix).
+        inflation: inflation exponent; higher → finer clusters.
+        max_iters: iteration cap.
+        tol: convergence threshold on the max element change.
+        self_loops: value added to the diagonal before normalization
+            (standard MCL regularization).
+        prune: entries below this are zeroed each round (keeps the
+            dense iteration numerically crisp).
+
+    Returns:
+        Clusters as lists of node indices, largest first; singletons
+        included, every node in exactly one cluster.
+    """
+    m = np.asarray(similarity, dtype=np.float64)
+    if m.ndim != 2 or m.shape[0] != m.shape[1]:
+        raise ValueError("similarity must be square")
+    if (m < 0).any():
+        raise ValueError("similarity must be non-negative")
+    if not np.allclose(m, m.T, atol=1e-9):
+        raise ValueError("similarity must be symmetric")
+    if inflation <= 1.0:
+        raise ValueError("inflation must exceed 1")
+
+    n = m.shape[0]
+    flow = m.copy()
+    np.fill_diagonal(flow, flow.diagonal() + self_loops)
+    flow = _normalize_columns(flow)
+
+    for _ in range(max_iters):
+        prev = flow
+        flow = flow @ flow  # expansion
+        np.power(flow, inflation, out=flow)  # inflation
+        flow[flow < prune] = 0.0
+        flow = _normalize_columns(flow)
+        if np.abs(flow - prev).max() < tol:
+            break
+
+    return clusters_from_flow(flow)
+
+
+def clusters_from_flow(flow: np.ndarray) -> list[list[int]]:
+    """Extract clusters from a converged MCL flow matrix.
+
+    Attractors are rows with positive diagonal mass; each node joins the
+    attractor with the largest flow into it.  Overlapping attractor rows
+    are merged via union-find so the result is a partition.
+    """
+    n = flow.shape[0]
+    parent = list(range(n))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(a: int, b: int) -> None:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[rb] = ra
+
+    attractors = np.flatnonzero(flow.diagonal() > 1e-12)
+    if len(attractors) == 0:
+        # Degenerate flow: every node is its own cluster.
+        return [[i] for i in range(n)]
+    for a in attractors:
+        members = np.flatnonzero(flow[a] > 1e-12)
+        for mber in members:
+            union(int(a), int(mber))
+    # Nodes attached to no attractor row become singletons.
+    groups: dict[int, list[int]] = {}
+    for i in range(n):
+        groups.setdefault(find(i), []).append(i)
+    return sorted(groups.values(), key=len, reverse=True)

@@ -1,0 +1,63 @@
+"""Plain-text table rendering.
+
+The benchmark harness prints each reproduced table in the paper's layout
+so paper-vs-measured comparison is a side-by-side read.  No dependency,
+no wrapping cleverness — just aligned monospace columns.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["render_table", "format_value"]
+
+
+def format_value(v: object, floatfmt: str = ".3f") -> str:
+    """Human formatting: floats per ``floatfmt``, ints grouped, rest str."""
+    if isinstance(v, bool):
+        return str(v)
+    if isinstance(v, float):
+        return format(v, floatfmt)
+    if isinstance(v, int):
+        return f"{v:,}"
+    return str(v)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+    floatfmt: str = ".3f",
+) -> str:
+    """Render an aligned monospace table.
+
+    Args:
+        headers: column headers.
+        rows: row cell values (any type; see :func:`format_value`).
+        title: optional title line printed above the table.
+        floatfmt: format spec applied to float cells.
+
+    Returns:
+        The table as a single string (trailing newline included).
+    """
+    cells = [[format_value(v, floatfmt) for v in row] for row in rows]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+
+    def fmt_row(row: Sequence[str]) -> str:
+        return "  ".join(c.rjust(w) for c, w in zip(row, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in cells)
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,288 @@
+"""Command-line interface.
+
+The future-work Python interface the paper promises, as a CLI::
+
+    repro-gdelt synth --preset small --raw-dir raw/      # generate raw archives
+    repro-gdelt synth --preset small --binary-dir db/    # generate binary direct
+    repro-gdelt convert raw/ db/                         # preprocessing tool
+    repro-gdelt stats db/                                # Table I
+    repro-gdelt tables db/                               # all paper tables
+    repro-gdelt scaling db/ --threads 1 2 4              # Fig 12 measurement
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro-gdelt",
+        description="High-performance mining on (synthetic) GDELT 2.0 data.",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    s = sub.add_parser("synth", help="generate a synthetic GDELT dataset")
+    s.add_argument("--preset", choices=["tiny", "small", "calibrated"], default="small")
+    s.add_argument("--seed", type=int, default=None)
+    s.add_argument("--raw-dir", type=Path, help="write raw GDELT archives here")
+    s.add_argument("--binary-dir", type=Path, help="write a binary dataset here")
+    s.add_argument(
+        "--chunk-days",
+        type=int,
+        default=1,
+        help="aggregate this many days per raw chunk archive (default 1)",
+    )
+    s.add_argument(
+        "--corrupt",
+        action="store_true",
+        help="plant the paper's Table II defects into the raw archives",
+    )
+
+    c = sub.add_parser("convert", help="raw archives -> indexed binary dataset")
+    c.add_argument("raw_dir", type=Path)
+    c.add_argument("out_dir", type=Path)
+    c.add_argument("--verify-checksums", action="store_true")
+    c.add_argument(
+        "--compress",
+        action="store_true",
+        help="write bulky columns with the compression codecs",
+    )
+
+    st = sub.add_parser("stats", help="print Table I dataset statistics")
+    st.add_argument("dataset", type=Path)
+
+    t = sub.add_parser("tables", help="print every reproduced paper table")
+    t.add_argument("dataset", type=Path)
+    t.add_argument("--top", type=int, default=10)
+
+    sc = sub.add_parser("scaling", help="measure the aggregated query at thread counts")
+    sc.add_argument("dataset", type=Path)
+    sc.add_argument("--threads", type=int, nargs="+", default=[1, 2, 4])
+    sc.add_argument(
+        "--model", action="store_true", help="extend with the NUMA cost model to 64"
+    )
+
+    w = sub.add_parser(
+        "wildfires", help="detect fast-spreading events (digital wildfires)"
+    )
+    w.add_argument("dataset", type=Path)
+    w.add_argument("--window", type=int, default=8, help="horizon in 15-min intervals")
+    w.add_argument("--min-sources", type=int, default=10)
+    w.add_argument("--limit", type=int, default=20)
+
+    cl = sub.add_parser(
+        "cluster", help="Markov-cluster the co-reporting matrix of top publishers"
+    )
+    cl.add_argument("dataset", type=Path)
+    cl.add_argument("--top", type=int, default=50)
+    cl.add_argument("--inflation", type=float, default=2.0)
+    cl.add_argument("--background-percentile", type=float, default=90.0)
+    return p
+
+
+def _load_config(preset: str, seed: int | None):
+    from repro.synth import calibrated_config, small_config, tiny_config
+
+    factory = {"tiny": tiny_config, "small": small_config, "calibrated": calibrated_config}[
+        preset
+    ]
+    return factory() if seed is None else factory(seed)
+
+
+def _cmd_synth(args) -> int:
+    from repro.ingest.direct import dataset_to_binary
+    from repro.synth import generate_dataset, inject_corruption, write_raw_archives
+    from repro.synth.corruption import CorruptionPlan
+
+    if not args.raw_dir and not args.binary_dir:
+        print("synth: need --raw-dir and/or --binary-dir", file=sys.stderr)
+        return 2
+    cfg = _load_config(args.preset, args.seed)
+    t0 = time.perf_counter()
+    ds = generate_dataset(cfg)
+    print(
+        f"generated {ds.n_events:,} events / {ds.n_articles:,} articles "
+        f"in {time.perf_counter() - t0:.1f}s"
+    )
+    if args.raw_dir:
+        master = write_raw_archives(
+            ds, args.raw_dir, chunk_intervals=96 * max(1, args.chunk_days)
+        )
+        print(f"raw archives: {master.parent}")
+        if args.corrupt:
+            receipt = inject_corruption(args.raw_dir, CorruptionPlan())
+            print(
+                f"planted defects: {len(receipt.malformed_lines)} master, "
+                f"{len(receipt.deleted_archives)} missing archives, "
+                f"{len(receipt.blanked_event_ids)} blank URLs, "
+                f"{len(receipt.future_dated_event_ids)} future-dated"
+            )
+    if args.binary_dir:
+        dataset_to_binary(ds, args.binary_dir)
+        print(f"binary dataset: {args.binary_dir}")
+    return 0
+
+
+def _cmd_convert(args) -> int:
+    from repro.analysis.report import render_table
+    from repro.ingest import convert_raw_to_binary
+
+    t0 = time.perf_counter()
+    result = convert_raw_to_binary(
+        args.raw_dir,
+        args.out_dir,
+        verify_checksums=args.verify_checksums,
+        compress=args.compress,
+    )
+    print(
+        f"converted {result.n_events:,} events / {result.n_mentions:,} mentions "
+        f"in {time.perf_counter() - t0:.1f}s -> {result.dataset_dir}"
+    )
+    print(
+        render_table(
+            ["Number of", "Value"],
+            result.report.as_table(),
+            title="Problems found during the dataset analysis (Table II)",
+        )
+    )
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    from repro.analysis import dataset_statistics, render_table
+    from repro.engine import GdeltStore
+
+    store = GdeltStore.open(args.dataset)
+    stats = dataset_statistics(store)
+    print(render_table(["Number of", "Value"], stats.as_table(), title="Table I"))
+    return 0
+
+
+def _cmd_tables(args) -> int:
+    from repro.benchlib import print_all_tables  # lazy: pulls analysis stack
+    from repro.engine import GdeltStore
+
+    store = GdeltStore.open(args.dataset)
+    print_all_tables(store, top=args.top)
+    return 0
+
+
+def _cmd_scaling(args) -> int:
+    from repro.analysis.report import render_table
+    from repro.engine import (
+        GdeltStore,
+        SerialExecutor,
+        ThreadExecutor,
+        aggregated_country_query,
+        calibrate_from_measurement,
+    )
+
+    store = GdeltStore.open(args.dataset)
+    rows = []
+    t1 = None
+    for n in args.threads:
+        ex = SerialExecutor() if n == 1 else ThreadExecutor(n)
+        t0 = time.perf_counter()
+        aggregated_country_query(store, ex)
+        dt = time.perf_counter() - t0
+        ex.close()
+        if n == 1:
+            t1 = dt
+        rows.append((n, dt, (t1 / dt) if t1 else float("nan"), "measured"))
+    if args.model and t1 is not None:
+        model = calibrate_from_measurement(t1)
+        for n in (8, 16, 32, 64):
+            pred = model.predict(n)
+            rows.append((n, pred, t1 / pred, "model"))
+    print(
+        render_table(
+            ["threads", "seconds", "speedup", "kind"],
+            rows,
+            title="Aggregated country query scaling (Fig 12)",
+        )
+    )
+    return 0
+
+
+def _cmd_wildfires(args) -> int:
+    from repro.analysis import detect_wildfires, render_table
+    from repro.engine import GdeltStore
+
+    store = GdeltStore.open(args.dataset)
+    fires = detect_wildfires(
+        store,
+        window=args.window,
+        min_sources=args.min_sources,
+        limit=args.limit,
+    )
+    rows = [
+        (
+            f.early_sources,
+            f.total_sources,
+            f.first_delay,
+            f.url or str(f.global_event_id),
+        )
+        for f in fires
+    ]
+    print(
+        render_table(
+            [f"sources<{args.window * 15}min", "total", "first delay", "event"],
+            rows,
+            title=f"Digital-wildfire candidates (window {args.window * 15} min)",
+        )
+    )
+    return 0
+
+
+def _cmd_cluster(args) -> int:
+    from repro.analysis import (
+        markov_clustering,
+        sharpen_similarity,
+        source_coreporting,
+        top_publishers,
+    )
+    from repro.engine import GdeltStore
+
+    store = GdeltStore.open(args.dataset)
+    ids = top_publishers(store, args.top)
+    jac = source_coreporting(store, ids)
+    sharp = sharpen_similarity(jac, args.background_percentile)
+    clusters = markov_clustering(sharp, inflation=args.inflation, self_loops=0.1)
+    print(
+        f"{len(clusters)} clusters among the top {len(ids)} publishers "
+        f"(inflation {args.inflation}):"
+    )
+    for i, cluster in enumerate(c for c in clusters if len(c) > 1):
+        members = ", ".join(store.sources[int(ids[p])] for p in cluster)
+        print(f"  cluster {i + 1} ({len(cluster)}): {members}")
+    singletons = sum(1 for c in clusters if len(c) == 1)
+    print(f"  + {singletons} independent publishers")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the exit status."""
+    args = build_parser().parse_args(argv)
+    np.seterr(all="warn")
+    handlers = {
+        "synth": _cmd_synth,
+        "convert": _cmd_convert,
+        "stats": _cmd_stats,
+        "tables": _cmd_tables,
+        "scaling": _cmd_scaling,
+        "wildfires": _cmd_wildfires,
+        "cluster": _cmd_cluster,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

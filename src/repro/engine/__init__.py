@@ -1,0 +1,64 @@
+"""In-memory query execution engine.
+
+The paper's core contribution: a read-only, specialized, parallel engine
+over the converted binary tables.  After :class:`GdeltStore` loads the
+columns (memory-mapped or resident), queries run as vectorized kernels
+over row chunks ("morsels"), optionally fanned out over a thread team —
+NumPy kernels release the GIL, so the chunked executor is a real
+shared-memory parallel engine, standing in for the paper's OpenMP loops.
+
+Layers:
+
+* :mod:`repro.engine.store` — table container + derived columns
+  (source→country via the TLD rule, interval→quarter);
+* :mod:`repro.engine.expr` — vectorized filter expressions;
+* :mod:`repro.engine.aggregate` — grouped aggregation kernels
+  (bincount-based counts/sums, per-group min/max/median);
+* :mod:`repro.engine.join` — event↔mention navigation via the
+  precomputed sort index;
+* :mod:`repro.engine.executor` — serial / threaded / process execution
+  of chunked kernels;
+* :mod:`repro.engine.query` — the user-facing query builder and the
+  paper's aggregated country query;
+* :mod:`repro.engine.baseline` — a row-at-a-time pure-Python engine
+  (the generic-system baseline the paper compares against);
+* :mod:`repro.engine.numa`, :mod:`repro.engine.costmodel` — the 8-node
+  NUMA topology of the paper's EPYC 7601 testbed and the analytic
+  scaling model used to extrapolate Fig 12 beyond this host's cores.
+"""
+
+from repro.engine.store import GdeltStore
+from repro.engine.expr import col, const, Expr
+from repro.engine.query import Query, CountryQueryResult, aggregated_country_query
+from repro.engine.executor import (
+    SerialExecutor,
+    ThreadExecutor,
+    ProcessExecutor,
+    Executor,
+)
+from repro.engine.numa import NumaTopology, Placement
+from repro.engine.costmodel import ScalingModel, calibrate_from_measurement
+from repro.engine.distributed import (
+    DistributedQueryReport,
+    distributed_country_query,
+)
+
+__all__ = [
+    "GdeltStore",
+    "col",
+    "const",
+    "Expr",
+    "Query",
+    "CountryQueryResult",
+    "aggregated_country_query",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "Executor",
+    "NumaTopology",
+    "Placement",
+    "ScalingModel",
+    "calibrate_from_measurement",
+    "DistributedQueryReport",
+    "distributed_country_query",
+]

@@ -1,0 +1,118 @@
+"""Distributed-memory execution of the aggregated country query.
+
+The paper's future-work item: scale past one node's memory by
+partitioning the mentions table across MPI ranks.  Here the layer runs
+over the simulated communicator of :mod:`repro.parallel.mpi_sim`, which
+gives correct distributed semantics (no shared state, explicit
+messages) plus traffic accounting — enough to study the communication
+cost of the query before buying the cluster.
+
+Partitioning is by contiguous mention-row range (capture-time order, so
+each rank holds a time slice — the natural layout when each node
+ingests its own span of 15-minute chunks).  The reduce combines the
+per-rank 2-D count matrices with one allreduce and unions the
+(event, country) incidence keys with a gather+bcast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.aggregate import group_count, group_count_2d
+from repro.engine.query import CountryQueryResult
+from repro.engine.store import GdeltStore
+from repro.parallel.mpi_sim import SimComm, TrafficStats, run_ranks
+
+__all__ = ["DistributedQueryReport", "distributed_country_query", "partition_rows"]
+
+
+def partition_rows(n_rows: int, n_ranks: int) -> list[slice]:
+    """Contiguous near-equal row ranges, one per rank (possibly empty)."""
+    if n_ranks < 1:
+        raise ValueError("need at least one rank")
+    base, extra = divmod(n_rows, n_ranks)
+    out = []
+    start = 0
+    for r in range(n_ranks):
+        size = base + (1 if r < extra else 0)
+        out.append(slice(start, start + size))
+        start += size
+    return out
+
+
+@dataclass(slots=True)
+class DistributedQueryReport:
+    """Result of a distributed run plus its communication profile."""
+
+    result: CountryQueryResult
+    traffic: TrafficStats
+    n_ranks: int
+
+    @property
+    def bytes_per_rank(self) -> float:
+        return self.traffic.bytes / self.n_ranks if self.n_ranks else 0.0
+
+
+def distributed_country_query(
+    store: GdeltStore, n_ranks: int
+) -> DistributedQueryReport:
+    """Run the aggregated country query across ``n_ranks`` simulated ranks.
+
+    Every rank scans only its own row slice of the mentions table; the
+    result is bit-identical to
+    :func:`repro.engine.query.aggregated_country_query` on one node.
+    """
+    n_c = store.n_countries
+    src_country = store.source_country_idx()
+    ev_country = store.event_country_idx()
+    ev_row = store.mention_event_row()
+    source_id = store.mentions["SourceId"]
+    n_events = store.n_events
+    slices = partition_rows(store.n_mentions, n_ranks)
+
+    def rank_fn(comm: SimComm) -> CountryQueryResult | None:
+        sl = slices[comm.rank]
+        rows = ev_row[sl]
+        pub = src_country[source_id[sl]].astype(np.int64)
+        evc = np.where(rows >= 0, ev_country[np.clip(rows, 0, None)], -1).astype(
+            np.int64
+        )
+        cross = group_count_2d(evc, pub, (n_c, n_c))
+
+        ok = (rows >= 0) & (pub >= 0)
+        pairs = np.unique(rows[ok] * np.int64(n_c) + pub[ok])
+
+        located = np.where(rows >= 0, ev_country[np.clip(rows, 0, None)], -1) >= 0
+        unlocated = group_count(pub, n_c, ~located)
+
+        # Global sums of the dense aggregates.
+        cross_total = comm.allreduce_sum(cross)
+        unlocated_total = comm.allreduce_sum(unlocated)
+
+        # Union of incidence keys: gather to rank 0, unique, broadcast.
+        all_parts = comm.gather(pairs, root=0)
+        if comm.rank == 0:
+            union = np.unique(np.concatenate(all_parts))
+        else:
+            union = None
+        union = comm.bcast(union, root=0)
+
+        if comm.rank != 0:
+            return None
+        incidence = np.zeros((n_events, n_c), dtype=np.float32)
+        incidence[union // n_c, union % n_c] = 1.0
+        co_events = np.rint(incidence.T @ incidence).astype(np.int64)
+        return CountryQueryResult(
+            cross_counts=cross_total.astype(np.int64),
+            co_events=co_events,
+            publisher_articles=(
+                cross_total.sum(axis=0) + unlocated_total
+            ).astype(np.int64),
+        )
+
+    results, traffic = run_ranks(n_ranks, rank_fn)
+    return DistributedQueryReport(
+        result=results[0], traffic=traffic, n_ranks=n_ranks
+    )

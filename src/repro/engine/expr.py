@@ -1,0 +1,182 @@
+"""Vectorized filter expressions.
+
+A tiny expression tree compiled against a column table: ``col("Delay") >
+96`` builds an :class:`Expr` whose :meth:`Expr.evaluate` returns a boolean
+mask for any row range.  Expressions are pure descriptions — they carry
+no data — so one expression object can be evaluated concurrently by many
+worker threads over different chunks.
+
+Supported: comparisons (``< <= == != >= >``), arithmetic (``+ - * //``),
+boolean algebra (``& | ~``), and :meth:`Expr.isin`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Expr", "col", "const"]
+
+Table = dict[str, np.ndarray]
+
+
+class Expr:
+    """A node of the expression tree."""
+
+    def _eval(self, table: Table, sl: slice) -> np.ndarray:
+        raise NotImplementedError
+
+    def evaluate(self, table: Table, sl: slice | None = None) -> np.ndarray:
+        """Evaluate over ``table`` rows ``sl`` (default: all rows).
+
+        Returns a mask (or value array, for arithmetic nodes) of the
+        slice's length.
+        """
+        if sl is None:
+            sl = slice(0, _table_rows(table))
+        return self._eval(table, sl)
+
+    def columns(self) -> set[str]:
+        """Names of all columns the expression touches."""
+        out: set[str] = set()
+        self._collect(out)
+        return out
+
+    def _collect(self, out: set[str]) -> None:
+        pass
+
+    # comparisons
+    def __lt__(self, other):  # noqa: D105
+        return _BinOp(self, _wrap(other), np.less)
+
+    def __le__(self, other):  # noqa: D105
+        return _BinOp(self, _wrap(other), np.less_equal)
+
+    def __gt__(self, other):  # noqa: D105
+        return _BinOp(self, _wrap(other), np.greater)
+
+    def __ge__(self, other):  # noqa: D105
+        return _BinOp(self, _wrap(other), np.greater_equal)
+
+    def __eq__(self, other):  # type: ignore[override]  # noqa: D105
+        return _BinOp(self, _wrap(other), np.equal)
+
+    def __ne__(self, other):  # type: ignore[override]  # noqa: D105
+        return _BinOp(self, _wrap(other), np.not_equal)
+
+    __hash__ = None  # type: ignore[assignment]
+
+    # arithmetic
+    def __add__(self, other):  # noqa: D105
+        return _BinOp(self, _wrap(other), np.add)
+
+    def __sub__(self, other):  # noqa: D105
+        return _BinOp(self, _wrap(other), np.subtract)
+
+    def __mul__(self, other):  # noqa: D105
+        return _BinOp(self, _wrap(other), np.multiply)
+
+    def __floordiv__(self, other):  # noqa: D105
+        return _BinOp(self, _wrap(other), np.floor_divide)
+
+    # boolean algebra
+    def __and__(self, other):  # noqa: D105
+        return _BinOp(self, _wrap(other), np.logical_and)
+
+    def __or__(self, other):  # noqa: D105
+        return _BinOp(self, _wrap(other), np.logical_or)
+
+    def __invert__(self):  # noqa: D105
+        return _Unary(self, np.logical_not)
+
+    def isin(self, values) -> "Expr":
+        """Membership test against a fixed value set."""
+        return _IsIn(self, np.asarray(list(values)))
+
+
+class _Col(Expr):
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def _eval(self, table: Table, sl: slice) -> np.ndarray:
+        try:
+            return table[self.name][sl]
+        except KeyError:
+            raise KeyError(
+                f"no column {self.name!r}; available: {sorted(table)}"
+            ) from None
+
+    def _collect(self, out: set[str]) -> None:
+        out.add(self.name)
+
+    def __repr__(self) -> str:
+        return f"col({self.name!r})"
+
+
+class _Const(Expr):
+    def __init__(self, value) -> None:
+        self.value = value
+
+    def _eval(self, table: Table, sl: slice) -> np.ndarray:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"const({self.value!r})"
+
+
+class _BinOp(Expr):
+    def __init__(self, left: Expr, right: Expr, op) -> None:
+        self.left, self.right, self.op = left, right, op
+
+    def _eval(self, table: Table, sl: slice) -> np.ndarray:
+        return self.op(self.left._eval(table, sl), self.right._eval(table, sl))
+
+    def _collect(self, out: set[str]) -> None:
+        self.left._collect(out)
+        self.right._collect(out)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op.__name__} {self.right!r})"
+
+
+class _Unary(Expr):
+    def __init__(self, inner: Expr, op) -> None:
+        self.inner, self.op = inner, op
+
+    def _eval(self, table: Table, sl: slice) -> np.ndarray:
+        return self.op(self.inner._eval(table, sl))
+
+    def _collect(self, out: set[str]) -> None:
+        self.inner._collect(out)
+
+
+class _IsIn(Expr):
+    def __init__(self, inner: Expr, values: np.ndarray) -> None:
+        self.inner = inner
+        self.values = np.unique(values)
+
+    def _eval(self, table: Table, sl: slice) -> np.ndarray:
+        x = self.inner._eval(table, sl)
+        return np.isin(x, self.values)
+
+    def _collect(self, out: set[str]) -> None:
+        self.inner._collect(out)
+
+
+def col(name: str) -> Expr:
+    """Reference a table column by name."""
+    return _Col(name)
+
+
+def const(value) -> Expr:
+    """Wrap a Python scalar as an expression node."""
+    return _Const(value)
+
+
+def _wrap(x) -> Expr:
+    return x if isinstance(x, Expr) else _Const(x)
+
+
+def _table_rows(table: Table) -> int:
+    for a in table.values():
+        return len(a)
+    return 0

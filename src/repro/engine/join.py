@@ -1,0 +1,61 @@
+"""Event ↔ mention navigation.
+
+The two tables are linked by GlobalEventID.  The binary dataset ships a
+precomputed sort permutation of mentions by event id plus per-event
+[start, end) offsets, so these joins are index gathers, never hash
+builds — the paper's "indexed version of the database".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.store import GdeltStore
+
+__all__ = [
+    "mentions_for_events",
+    "mention_mask_for_event_mask",
+    "gather_event_column",
+]
+
+
+def mentions_for_events(store: GdeltStore, event_rows: np.ndarray) -> np.ndarray:
+    """All mention row indices for the given events-table rows.
+
+    Returns a single concatenated index array (order: per event, then
+    event-id-sorted mention order within each).
+    """
+    event_rows = np.asarray(event_rows, dtype=np.int64)
+    lo = store.ev_lo[event_rows]
+    hi = store.ev_hi[event_rows]
+    counts = hi - lo
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    # Vectorized multi-range gather: offsets[i] .. offsets[i]+counts[i].
+    out_starts = np.concatenate([[0], np.cumsum(counts)[:-1]])
+    idx = np.repeat(lo - out_starts, counts) + np.arange(total)
+    return np.asarray(store.mentions_by_event)[idx].astype(np.int64)
+
+
+def mention_mask_for_event_mask(
+    store: GdeltStore, event_mask: np.ndarray
+) -> np.ndarray:
+    """Semi-join: boolean mention mask selecting mentions whose event's
+    events-table row passes ``event_mask`` (dangling mentions fail)."""
+    rows = store.mention_event_row()
+    ok = rows >= 0
+    out = np.zeros(store.n_mentions, dtype=bool)
+    out[ok] = event_mask[rows[ok]]
+    return out
+
+
+def gather_event_column(
+    store: GdeltStore, column: np.ndarray, fill=-1
+) -> np.ndarray:
+    """Per-mention gather of a per-event array (``fill`` for dangling)."""
+    rows = store.mention_event_row()
+    ok = rows >= 0
+    out = np.full(store.n_mentions, fill, dtype=np.asarray(column).dtype)
+    out[ok] = np.asarray(column)[rows[ok]]
+    return out

@@ -1,0 +1,137 @@
+"""NUMA topology model of the paper's testbed.
+
+The paper runs on a dual-socket AMD EPYC 7601 node: 64 cores in 8 NUMA
+nodes, ~2 TB DRAM, ~240 GB/s aggregate STREAM bandwidth, with limited
+inter-node bandwidth — and stresses that thread/memory placement is what
+unlocks the machine.  This host exposes far fewer cores, so the model
+below captures that topology analytically: given a thread placement and
+a memory policy it yields the *effective* streaming bandwidth, which the
+cost model (:mod:`repro.engine.costmodel`) turns into query-time
+predictions for thread counts we cannot measure directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["NumaTopology", "Placement", "EPYC_7601_NODE"]
+
+
+@dataclass(frozen=True, slots=True)
+class NumaTopology:
+    """A symmetric multi-node NUMA machine.
+
+    Attributes:
+        n_nodes: NUMA nodes.
+        cores_per_node: physical cores per node.
+        local_bw_gbs: per-node local memory bandwidth (GB/s).
+        remote_bw_gbs: per-node bandwidth to remote memory (GB/s),
+            bounded by the interconnect.
+        core_bw_gbs: bandwidth a single core can draw (GB/s).
+    """
+
+    n_nodes: int = 8
+    cores_per_node: int = 8
+    local_bw_gbs: float = 30.0
+    remote_bw_gbs: float = 9.0
+    core_bw_gbs: float = 12.0
+
+    def __post_init__(self) -> None:
+        if min(self.n_nodes, self.cores_per_node) < 1:
+            raise ValueError("topology must have at least one node and core")
+        if min(self.local_bw_gbs, self.remote_bw_gbs, self.core_bw_gbs) <= 0:
+            raise ValueError("bandwidths must be positive")
+
+    @property
+    def total_cores(self) -> int:
+        return self.n_nodes * self.cores_per_node
+
+    @property
+    def peak_bw_gbs(self) -> float:
+        """All nodes streaming local memory (the STREAM number)."""
+        return self.n_nodes * self.local_bw_gbs
+
+
+#: The paper's machine: dual EPYC 7601 = 8 NUMA nodes x 8 cores,
+#: 8 x 30 GB/s = 240 GB/s STREAM.
+EPYC_7601_NODE = NumaTopology()
+
+
+@dataclass(frozen=True, slots=True)
+class Placement:
+    """How ``n_threads`` are laid out over the topology.
+
+    ``policy="compact"`` fills node 0 before node 1 (default OS behaviour
+    without pinning); ``policy="scatter"`` round-robins threads across
+    nodes (the placement the paper's engine uses to reach full
+    bandwidth).
+    """
+
+    n_threads: int
+    policy: str = "scatter"
+
+    def __post_init__(self) -> None:
+        if self.n_threads < 1:
+            raise ValueError("need at least one thread")
+        if self.policy not in ("compact", "scatter"):
+            raise ValueError(f"unknown placement policy {self.policy!r}")
+
+    def threads_per_node(self, topo: NumaTopology) -> list[int]:
+        """Thread count on each node under this policy."""
+        t = min(self.n_threads, topo.total_cores)
+        counts = [0] * topo.n_nodes
+        if self.policy == "compact":
+            remaining = t
+            for node in range(topo.n_nodes):
+                take = min(topo.cores_per_node, remaining)
+                counts[node] = take
+                remaining -= take
+                if remaining == 0:
+                    break
+        else:  # scatter
+            for i in range(t):
+                counts[i % topo.n_nodes] += 1
+        return counts
+
+
+def effective_bandwidth(
+    topo: NumaTopology, placement: Placement, memory_policy: str = "interleave"
+) -> float:
+    """Effective aggregate streaming bandwidth (GB/s).
+
+    With ``memory_policy="interleave"`` (pages spread over all nodes, the
+    engine's allocation policy) a node running k threads draws
+    ``min(k * core_bw, local_share + remote_share)`` where only
+    ``1/n_nodes`` of its traffic is local.  With ``"node0"`` every access
+    targets node 0's memory, whose controller the whole machine then
+    shares — the pathological placement the paper warns about.
+    """
+    if memory_policy not in ("interleave", "node0"):
+        raise ValueError(f"unknown memory policy {memory_policy!r}")
+    counts = placement.threads_per_node(topo)
+
+    if memory_policy == "node0":
+        # Node 0's memory controller is the global cap.
+        demand = 0.0
+        for node, k in enumerate(counts):
+            if k == 0:
+                continue
+            link = topo.local_bw_gbs if node == 0 else topo.remote_bw_gbs
+            demand += min(k * topo.core_bw_gbs, link)
+        return min(demand, topo.local_bw_gbs)
+
+    total = 0.0
+    for k in counts:
+        if k == 0:
+            continue
+        local_frac = 1.0 / topo.n_nodes
+        node_cap = (
+            local_frac * topo.local_bw_gbs
+            + (1.0 - local_frac) * min(topo.remote_bw_gbs, topo.local_bw_gbs)
+        )
+        # Interleaved pages let a node draw on every controller, so the
+        # cap relaxes toward local_bw as the machine fills up evenly.
+        evenness = min(1.0, sum(1 for c in counts if c > 0) / topo.n_nodes)
+        node_cap = node_cap + evenness * (topo.local_bw_gbs - node_cap)
+        total += min(k * topo.core_bw_gbs, node_cap)
+    return min(total, topo.peak_bw_gbs)

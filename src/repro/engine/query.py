@@ -1,0 +1,362 @@
+"""User-facing query API and the paper's aggregated country query.
+
+:class:`Query` is a small fluent builder over one store table: filter
+with expressions, then count / aggregate / group, optionally fanned out
+over an executor.  It covers what the paper's "user-defined queries" do
+(filtered scans and grouped aggregations); the heavyweight analyses live
+in :mod:`repro.analysis` as dedicated kernels.
+
+:func:`aggregated_country_query` is the paper's Section VI-G workload:
+one pass over the mentions table that simultaneously produces the inputs
+of Tables V, VI and VII (country co-reporting, cross-reporting counts,
+and percentages).  It is the query whose OpenMP scaling Fig 12 plots,
+so it supports chunked parallel execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.aggregate import (
+    group_count,
+    group_count_2d,
+    group_max,
+    group_mean,
+    group_median,
+    group_min,
+    group_sum,
+)
+from repro.engine.executor import Executor, SerialExecutor
+from repro.engine.expr import Expr
+from repro.engine.store import GdeltStore
+
+__all__ = ["Query", "CountryQueryResult", "aggregated_country_query"]
+
+
+class Query:
+    """A filtered view over one table of a store.
+
+    Examples::
+
+        q = Query(store, "mentions").filter(col("Delay") > 96)
+        q.count()
+        q.groupby_count(store.mention_quarter(), store.n_quarters())
+    """
+
+    def __init__(
+        self,
+        store: GdeltStore,
+        table: str,
+        where: Expr | None = None,
+        executor: Executor | None = None,
+        rows: slice | None = None,
+    ) -> None:
+        if table not in ("events", "mentions"):
+            raise ValueError(f"unknown table {table!r}")
+        self.store = store
+        self.table_name = table
+        self.table = store.events if table == "events" else store.mentions
+        self.where = where
+        self.executor = executor or SerialExecutor()
+        total = 0
+        for a in self.table.values():
+            total = len(a)
+            break
+        if rows is None:
+            rows = slice(0, total)
+        if not (0 <= rows.start <= rows.stop <= total):
+            raise ValueError(f"row range {rows} outside table of {total} rows")
+        self.rows = rows
+
+    @property
+    def n_rows(self) -> int:
+        """Rows in the query's (possibly time-restricted) view."""
+        return self.rows.stop - self.rows.start
+
+    def _clone(self, **kw) -> "Query":
+        args = dict(
+            store=self.store,
+            table=self.table_name,
+            where=self.where,
+            executor=self.executor,
+            rows=self.rows,
+        )
+        args.update(kw)
+        return Query(**args)
+
+    def filter(self, expr: Expr) -> "Query":
+        """Add a conjunct to the filter; returns a new query."""
+        combined = expr if self.where is None else (self.where & expr)
+        return self._clone(where=combined)
+
+    def with_executor(self, executor: Executor) -> "Query":
+        """Run subsequent terminal operations on ``executor``."""
+        return self._clone(executor=executor)
+
+    def time_range(self, start_interval: int, end_interval: int) -> "Query":
+        """Restrict a *mentions* query to capture intervals in
+        [start_interval, end_interval).
+
+        The mentions table is stored sorted by capture interval, so the
+        restriction is two binary searches narrowing the scanned row
+        range — a time slice costs O(log n) plus the rows it selects,
+        never a full-table predicate scan.
+
+        Raises:
+            ValueError: on the events table (stored in id order) or an
+                inverted range.
+        """
+        if self.table_name != "mentions":
+            raise ValueError("time_range requires the capture-sorted mentions table")
+        if end_interval < start_interval:
+            raise ValueError("inverted time range")
+        col_vals = self.table["MentionInterval"]
+        lo = int(np.searchsorted(col_vals, start_interval, side="left"))
+        hi = int(np.searchsorted(col_vals, end_interval, side="left"))
+        lo = max(lo, self.rows.start)
+        hi = min(hi, self.rows.stop)
+        return self._clone(rows=slice(lo, max(lo, hi)))
+
+    def explain(self) -> str:
+        """Human-readable execution plan for this query.
+
+        Shows the scanned table, the (possibly time-restricted) row
+        range, the filter expression, the columns it touches, and the
+        executor — what the paper's engine decides before running a
+        user-defined query.
+        """
+        total = 0
+        for a in self.table.values():
+            total = len(a)
+            break
+        lines = [f"scan {self.table_name}"]
+        if self.n_rows != total:
+            pct = 100.0 * self.n_rows / total if total else 0.0
+            lines.append(
+                f"  rows [{self.rows.start:,}, {self.rows.stop:,}) "
+                f"of {total:,} ({pct:.1f}%) via sorted-range restriction"
+            )
+        else:
+            lines.append(f"  rows [0, {total:,}) (full table)")
+        if self.where is not None:
+            lines.append(f"  filter {self.where!r}")
+            lines.append(
+                "  columns " + ", ".join(sorted(self.where.columns()))
+            )
+        else:
+            lines.append("  filter none")
+        lines.append(
+            f"  executor {type(self.executor).__name__}"
+            f" x{getattr(self.executor, 'n_workers', 1)}"
+        )
+        return "\n".join(lines)
+
+    def _abs(self, sl: slice) -> slice:
+        """View-relative slice -> absolute table slice."""
+        return slice(self.rows.start + sl.start, self.rows.start + sl.stop)
+
+    def _mask(self, sl: slice) -> np.ndarray | None:
+        """Filter mask for a *view-relative* chunk."""
+        if self.where is None:
+            return None
+        return np.asarray(
+            self.where.evaluate(self.table, self._abs(sl)), dtype=bool
+        )
+
+    # -- terminal operations -------------------------------------------------
+
+    def mask(self) -> np.ndarray:
+        """Full boolean filter mask (all-true when unfiltered)."""
+        if self.where is None:
+            return np.ones(self.n_rows, dtype=bool)
+        parts = self.executor.map_chunks(self._mask, self.n_rows)
+        return np.concatenate(parts) if parts else np.zeros(0, dtype=bool)
+
+    def count(self) -> int:
+        """Number of rows passing the filter."""
+
+        def kernel(sl: slice) -> int:
+            m = self._mask(sl)
+            return (sl.stop - sl.start) if m is None else int(m.sum())
+
+        return sum(self.executor.map_chunks(kernel, self.n_rows))
+
+    def sum(self, column: str) -> float:
+        """Sum of a column over passing rows."""
+
+        def kernel(sl: slice) -> float:
+            v = self.table[column][self._abs(sl)]
+            m = self._mask(sl)
+            return float(v.sum()) if m is None else float(v[m].sum())
+
+        return sum(self.executor.map_chunks(kernel, self.n_rows))
+
+    def mean(self, column: str) -> float:
+        """Mean of a column over passing rows (NaN when empty)."""
+        n = self.count()
+        return self.sum(column) / n if n else float("nan")
+
+    def groupby_count(self, keys: np.ndarray, n_groups: int) -> np.ndarray:
+        """Per-group row counts over passing rows (parallel bincount).
+
+        ``keys`` is indexed in *table* coordinates (one key per table
+        row), so precomputed derived columns slot in directly.
+        """
+
+        def kernel(sl: slice) -> np.ndarray:
+            return group_count(keys[self._abs(sl)], n_groups, self._mask(sl))
+
+        parts = self.executor.map_chunks(kernel, self.n_rows)
+        return np.sum(parts, axis=0) if parts else np.zeros(n_groups, dtype=np.int64)
+
+    def groupby_sum(
+        self, keys: np.ndarray, column: str, n_groups: int
+    ) -> np.ndarray:
+        """Per-group column sums over passing rows."""
+
+        def kernel(sl: slice) -> np.ndarray:
+            asl = self._abs(sl)
+            return group_sum(
+                keys[asl], self.table[column][asl], n_groups, self._mask(sl)
+            )
+
+        parts = self.executor.map_chunks(kernel, self.n_rows)
+        return np.sum(parts, axis=0) if parts else np.zeros(n_groups)
+
+    def groupby_stats(
+        self, keys: np.ndarray, column: str, n_groups: int
+    ) -> dict[str, np.ndarray]:
+        """min/max/mean/median of ``column`` per group (single-pass mask).
+
+        Median requires a global per-group sort, so this terminal is
+        computed serially over the masked rows.
+        """
+        r = self.rows
+        values = self.table[column][r]
+        k = keys[r]
+        m = self.mask()
+        return {
+            "min": group_min(k, values, n_groups, m),
+            "max": group_max(k, values, n_groups, m),
+            "mean": group_mean(k, values, n_groups, m),
+            "median": group_median(k, values, n_groups, m),
+        }
+
+
+# --- the paper's aggregated country query ------------------------------------
+
+
+@dataclass(slots=True)
+class CountryQueryResult:
+    """Everything Tables V-VII derive from (roster-indexed).
+
+    Attributes:
+        cross_counts: [event-country, publisher-country] article counts
+            (Table VI is its top-10 block; Fig 8 the top-50 block).
+        co_events: [i, j] number of distinct events reported by sources
+            of both countries (diagonal: e_i) — Table V's numerator.
+        publisher_articles: total attributed articles per publisher
+            country (Table VII's denominators).
+    """
+
+    cross_counts: np.ndarray
+    co_events: np.ndarray
+    publisher_articles: np.ndarray
+
+    def jaccard(self) -> np.ndarray:
+        """Country co-reporting c_ij = e_ij / (e_i + e_j - e_ij)."""
+        e = np.diag(self.co_events).astype(np.float64)
+        denom = e[:, None] + e[None, :] - self.co_events
+        with np.errstate(invalid="ignore", divide="ignore"):
+            out = np.where(denom > 0, self.co_events / denom, 0.0)
+        np.fill_diagonal(out, 0.0)
+        return out
+
+    def percentages(self) -> np.ndarray:
+        """Table VII: cross_counts as % of each publisher column's total."""
+        tot = self.publisher_articles.astype(np.float64)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            return np.where(tot > 0, 100.0 * self.cross_counts / tot, 0.0)
+
+
+def aggregated_country_query(
+    store: GdeltStore,
+    executor: Executor | None = None,
+    chunk_rows: int | None = None,
+) -> CountryQueryResult:
+    """One parallel pass over mentions producing Tables V, VI and VII.
+
+    Per chunk: gather each mention's event country (via the join column)
+    and publisher country (via the TLD rule), accumulate the 2-D article
+    count matrix, and mark (event, country) incidence bits.  The reduce
+    step sums count matrices, ORs incidence, and turns incidence into the
+    country-pair co-event matrix with one matmul.
+    """
+    executor = executor or SerialExecutor()
+    n_c = store.n_countries
+    src_country = store.source_country_idx()
+    ev_country = store.event_country_idx()
+    ev_row = store.mention_event_row()
+    source_id = store.mentions["SourceId"]
+    n_events = store.n_events
+
+    def kernel(sl: slice) -> tuple[np.ndarray, np.ndarray]:
+        rows = ev_row[sl]
+        pub = src_country[source_id[sl]].astype(np.int64)
+        evc = np.where(rows >= 0, ev_country[np.clip(rows, 0, None)], -1).astype(
+            np.int64
+        )
+        counts = group_count_2d(evc, pub, (n_c, n_c))
+        ok = (rows >= 0) & (pub >= 0)
+        # Compact (event, publisher-country) incidence keys: far smaller
+        # than a per-chunk boolean matrix, and cheap to union at reduce.
+        pairs = np.unique(rows[ok] * np.int64(n_c) + pub[ok])
+        return counts, pairs
+
+    partials = executor.map_chunks(kernel, store.n_mentions, chunk_rows)
+    cross = np.zeros((n_c, n_c), dtype=np.int64)
+    pair_parts = []
+    for counts, pairs in partials:
+        cross += counts
+        pair_parts.append(pairs)
+    all_pairs = (
+        np.unique(np.concatenate(pair_parts))
+        if pair_parts
+        else np.empty(0, dtype=np.int64)
+    )
+
+    # e_ij via one BLAS matmul on the (events x countries) incidence.
+    # float32 is exact: entries are 0/1 and co-counts stay far below 2^24
+    # per accumulation step at any realistic country count.
+    incidence = np.zeros((n_events, n_c), dtype=np.float32)
+    incidence[all_pairs // n_c, all_pairs % n_c] = 1.0
+    co_events = np.rint(incidence.T @ incidence).astype(np.int64)
+    publisher_articles = cross.sum(axis=0) + _unlocated_articles(
+        store, src_country, source_id, n_c
+    )
+    return CountryQueryResult(
+        cross_counts=cross,
+        co_events=co_events,
+        publisher_articles=publisher_articles,
+    )
+
+
+def _unlocated_articles(
+    store: GdeltStore,
+    src_country: np.ndarray,
+    source_id: np.ndarray,
+    n_c: int,
+) -> np.ndarray:
+    """Articles per publisher country about *untagged* events.
+
+    Table VII divides by each country's total article output, including
+    articles about events with no geotag, so those are counted here and
+    added to the column totals.
+    """
+    ev_row = store.mention_event_row()
+    ev_country = store.event_country_idx()
+    pub = src_country[source_id].astype(np.int64)
+    located = np.where(ev_row >= 0, ev_country[np.clip(ev_row, 0, None)], -1) >= 0
+    return group_count(pub, n_c, ~located)

@@ -1,0 +1,256 @@
+"""The in-memory GDELT store.
+
+Holds the two column tables, the shared string dictionaries, the
+event→mentions index, and lazily computed *derived* columns that the
+paper's analyses use everywhere:
+
+* ``source_country`` — roster index per source id, computed from the
+  source domain's TLD (the paper's attribution rule);
+* ``mention_quarter`` / ``event_quarter`` — calendar quarter indices of
+  capture and event-day intervals;
+* ``mention_event_row`` — events-table row of each mention (join column).
+
+A store can be opened from a binary dataset directory (the normal path)
+or constructed directly from arrays (the synthetic fast path).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.gdelt.codes import COUNTRIES, source_country
+from repro.gdelt.time_util import intervals_to_quarters
+from repro.storage.columns import StringDictionary
+from repro.storage.format import StorageError
+from repro.storage.index import aligned_group_bounds, sort_permutation
+from repro.storage.reader import DatasetReader
+
+__all__ = ["GdeltStore"]
+
+#: FIPS → roster index, shared by every store.
+_ROSTER_POS = {c.fips: i for i, c in enumerate(COUNTRIES)}
+
+
+class GdeltStore:
+    """Read-only in-memory (or memory-mapped) GDELT dataset."""
+
+    def __init__(
+        self,
+        events: dict[str, np.ndarray],
+        mentions: dict[str, np.ndarray],
+        sources: StringDictionary,
+        countries: StringDictionary,
+        mentions_by_event: np.ndarray,
+        ev_lo: np.ndarray,
+        ev_hi: np.ndarray,
+        reader: DatasetReader | None = None,
+    ) -> None:
+        self.events = events
+        self.mentions = mentions
+        self.sources = sources
+        self.countries = countries
+        self.mentions_by_event = mentions_by_event
+        self.ev_lo = ev_lo
+        self.ev_hi = ev_hi
+        self._reader = reader
+        self._cache: dict[str, object] = {}
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def open(cls, path: Path, mode: str = "memory") -> "GdeltStore":
+        """Open a binary dataset directory.
+
+        ``mode="memory"`` (default) loads columns into resident arrays,
+        matching the paper's load-once-then-query usage; ``"mmap"`` maps
+        them lazily.
+        """
+        reader = DatasetReader(Path(path), mode=mode)
+        events = reader.table_arrays("events")
+        mentions = reader.table_arrays("mentions")
+        return cls(
+            events=events,
+            mentions=mentions,
+            sources=reader.dictionary("sources"),
+            countries=reader.dictionary("countries"),
+            mentions_by_event=reader.index("mentions_by_event"),
+            ev_lo=reader.index("mentions_ev_lo"),
+            ev_hi=reader.index("mentions_ev_hi"),
+            reader=reader,
+        )
+
+    @classmethod
+    def from_arrays(
+        cls,
+        events: dict[str, np.ndarray],
+        mentions: dict[str, np.ndarray],
+        dictionaries: dict[str, StringDictionary],
+    ) -> "GdeltStore":
+        """Build a live store from binary-layout arrays (no disk round trip).
+
+        The join index is computed on the fly.
+        """
+        perm = sort_permutation(mentions["GlobalEventID"])
+        sorted_eids = mentions["GlobalEventID"][perm]
+        bounds = aligned_group_bounds(events["GlobalEventID"], sorted_eids)
+        store = cls(
+            events=events,
+            mentions=mentions,
+            sources=dictionaries["sources"],
+            countries=dictionaries["countries"],
+            mentions_by_event=perm,
+            ev_lo=bounds[:, 0].copy(),
+            ev_hi=bounds[:, 1].copy(),
+        )
+        if "mention_urls" in dictionaries:
+            store._cache["mention_urls"] = dictionaries["mention_urls"]
+        if "event_urls" in dictionaries:
+            store._cache["event_urls"] = dictionaries["event_urls"]
+        return store
+
+    # -- sizes ----------------------------------------------------------------
+
+    @property
+    def n_events(self) -> int:
+        return len(self.events["GlobalEventID"])
+
+    @property
+    def n_mentions(self) -> int:
+        return len(self.mentions["GlobalEventID"])
+
+    @property
+    def n_sources(self) -> int:
+        return len(self.sources)
+
+    @property
+    def n_countries(self) -> int:
+        """Roster size (not dictionary size)."""
+        return len(COUNTRIES)
+
+    def memory_bytes(self) -> int:
+        """Resident bytes of all table columns (dictionaries excluded)."""
+        return sum(a.nbytes for a in self.events.values()) + sum(
+            a.nbytes for a in self.mentions.values()
+        )
+
+    # -- lazy URL dictionaries -------------------------------------------------
+
+    def _lazy_dict(self, name: str) -> StringDictionary | None:
+        if name in self._cache:
+            return self._cache[name]  # type: ignore[return-value]
+        if self._reader is None:
+            return None
+        try:
+            d = self._reader.dictionary(name)
+        except StorageError:
+            return None
+        self._cache[name] = d
+        return d
+
+    def mention_url(self, row: int) -> str | None:
+        """URL of mention ``row`` (None when URLs were not materialized)."""
+        d = self._lazy_dict("mention_urls")
+        code = int(self.mentions["UrlId"][row])
+        if d is None or code < 0:
+            return None
+        return d[code]
+
+    def event_url(self, row: int) -> str | None:
+        """Seed SOURCEURL of event ``row``."""
+        d = self._lazy_dict("event_urls")
+        code = int(self.events["SourceURLId"][row])
+        if d is None or code < 0:
+            return None
+        return d[code]
+
+    # -- derived columns --------------------------------------------------------
+
+    def source_country_idx(self) -> np.ndarray:
+        """Roster index per source id via the TLD rule (-1 = unattributable).
+
+        Cached; computed once by scanning the source dictionary.
+        """
+        cached = self._cache.get("source_country_idx")
+        if cached is None:
+            out = np.full(len(self.sources), -1, dtype=np.int16)
+            for sid, domain in enumerate(self.sources):
+                fips = source_country(domain)
+                if fips is not None:
+                    out[sid] = _ROSTER_POS[fips]
+            self._cache["source_country_idx"] = cached = out
+        return cached  # type: ignore[return-value]
+
+    def event_country_idx(self) -> np.ndarray:
+        """Roster index per *event row* (-1 = untagged/unknown FIPS)."""
+        cached = self._cache.get("event_country_idx")
+        if cached is None:
+            code_to_roster = np.full(len(self.countries), -1, dtype=np.int16)
+            for code, fips in enumerate(self.countries):
+                if fips and fips in _ROSTER_POS:
+                    code_to_roster[code] = _ROSTER_POS[fips]
+            cached = code_to_roster[self.events["CountryCode"]]
+            self._cache["event_country_idx"] = cached
+        return cached  # type: ignore[return-value]
+
+    def mention_event_row(self) -> np.ndarray:
+        """Events-table row index per mention (-1 = dangling event id)."""
+        cached = self._cache.get("mention_event_row")
+        if cached is None:
+            eids = self.events["GlobalEventID"]
+            m = self.mentions["GlobalEventID"]
+            pos = np.searchsorted(eids, m)
+            pos_c = np.clip(pos, 0, len(eids) - 1)
+            ok = eids[pos_c] == m
+            cached = np.where(ok, pos_c, -1).astype(np.int64)
+            self._cache["mention_event_row"] = cached
+        return cached  # type: ignore[return-value]
+
+    def mention_quarter(self) -> np.ndarray:
+        """Calendar quarter of each mention's capture interval."""
+        cached = self._cache.get("mention_quarter")
+        if cached is None:
+            cached = intervals_to_quarters(
+                self.mentions["MentionInterval"].astype(np.int64)
+            ).astype(np.int16)
+            self._cache["mention_quarter"] = cached
+        return cached  # type: ignore[return-value]
+
+    def event_quarter(self) -> np.ndarray:
+        """Calendar quarter of each event's day."""
+        cached = self._cache.get("event_quarter")
+        if cached is None:
+            cached = intervals_to_quarters(
+                self.events["DayInterval"].astype(np.int64)
+            ).astype(np.int16)
+            self._cache["event_quarter"] = cached
+        return cached  # type: ignore[return-value]
+
+    def mention_event_quarter(self) -> np.ndarray:
+        """Calendar quarter of each mention's *event* interval."""
+        cached = self._cache.get("mention_event_quarter")
+        if cached is None:
+            cached = intervals_to_quarters(
+                self.mentions["EventInterval"].astype(np.int64)
+            ).astype(np.int16)
+            self._cache["mention_event_quarter"] = cached
+        return cached  # type: ignore[return-value]
+
+    def n_quarters(self) -> int:
+        """Number of quarters spanned by the mention data (max quarter + 1)."""
+        mq = self.mention_quarter()
+        eq = self.event_quarter()
+        hi = 0
+        if len(mq):
+            hi = max(hi, int(mq.max()))
+        if len(eq):
+            hi = max(hi, int(eq.max()))
+        return hi + 1
+
+    # -- navigation ---------------------------------------------------------------
+
+    def mentions_of_event(self, event_row: int) -> np.ndarray:
+        """Mention row indices for events-table row ``event_row``."""
+        lo, hi = int(self.ev_lo[event_row]), int(self.ev_hi[event_row])
+        return np.asarray(self.mentions_by_event[lo:hi])

@@ -1,0 +1,182 @@
+"""Column schemas for the GDELT 2.0 Event Database.
+
+The GDELT 2.0 export publishes two tab-separated tables every 15 minutes:
+
+* the **Events** table — 61 columns, one row per (new or updated) event,
+  CAMEO-coded actors, geography, and bookkeeping counters;
+* the **Mentions** table — 16 columns, one row per article that mentions
+  an event, carrying the event id, the event's time, the time the mention
+  was captured, and the source/URL of the article.
+
+The paper's engine only *materializes* a core subset of these columns into
+its binary format (the ones its queries touch), but the preprocessing tool
+must parse and validate full-width rows.  ``EVENTS_SCHEMA`` /
+``MENTIONS_SCHEMA`` describe the full external tables;
+``EVENTS_CORE_FIELDS`` / ``MENTIONS_CORE_FIELDS`` name the materialized
+subset.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = [
+    "FieldKind",
+    "Field",
+    "EVENTS_SCHEMA",
+    "MENTIONS_SCHEMA",
+    "EVENTS_CORE_FIELDS",
+    "MENTIONS_CORE_FIELDS",
+    "field_index",
+]
+
+
+class FieldKind(enum.Enum):
+    """Logical type of a GDELT column as published in the raw TSV."""
+
+    INT = "int"
+    FLOAT = "float"
+    STR = "str"
+    #: ``YYYYMMDDHHMMSS`` integer timestamp.
+    TIMESTAMP = "timestamp"
+    #: ``YYYYMMDD`` integer date.
+    DATE = "date"
+
+
+@dataclass(frozen=True, slots=True)
+class Field:
+    """One column of a raw GDELT table.
+
+    Attributes:
+        name: Column name as documented by the GDELT 2.0 codebook.
+        kind: Logical type used for parsing and validation.
+        nullable: Whether the raw dump may leave the cell empty.
+    """
+
+    name: str
+    kind: FieldKind
+    nullable: bool = True
+
+
+def _actor_block(prefix: str) -> list[Field]:
+    """The 10-column CAMEO actor attribute block (Actor1*/Actor2*)."""
+    return [
+        Field(f"{prefix}Code", FieldKind.STR),
+        Field(f"{prefix}Name", FieldKind.STR),
+        Field(f"{prefix}CountryCode", FieldKind.STR),
+        Field(f"{prefix}KnownGroupCode", FieldKind.STR),
+        Field(f"{prefix}EthnicCode", FieldKind.STR),
+        Field(f"{prefix}Religion1Code", FieldKind.STR),
+        Field(f"{prefix}Religion2Code", FieldKind.STR),
+        Field(f"{prefix}Type1Code", FieldKind.STR),
+        Field(f"{prefix}Type2Code", FieldKind.STR),
+        Field(f"{prefix}Type3Code", FieldKind.STR),
+    ]
+
+
+def _geo_block(prefix: str) -> list[Field]:
+    """The 8-column geography block (Actor1Geo_/Actor2Geo_/ActionGeo_)."""
+    return [
+        Field(f"{prefix}Type", FieldKind.INT),
+        Field(f"{prefix}Fullname", FieldKind.STR),
+        Field(f"{prefix}CountryCode", FieldKind.STR),
+        Field(f"{prefix}ADM1Code", FieldKind.STR),
+        Field(f"{prefix}ADM2Code", FieldKind.STR),
+        Field(f"{prefix}Lat", FieldKind.FLOAT),
+        Field(f"{prefix}Long", FieldKind.FLOAT),
+        Field(f"{prefix}FeatureID", FieldKind.STR),
+    ]
+
+
+#: The 61 columns of the GDELT 2.0 Events table, in publication order.
+EVENTS_SCHEMA: tuple[Field, ...] = tuple(
+    [
+        Field("GlobalEventID", FieldKind.INT, nullable=False),
+        Field("Day", FieldKind.DATE, nullable=False),
+        Field("MonthYear", FieldKind.INT, nullable=False),
+        Field("Year", FieldKind.INT, nullable=False),
+        Field("FractionDate", FieldKind.FLOAT, nullable=False),
+    ]
+    + _actor_block("Actor1")
+    + _actor_block("Actor2")
+    + [
+        Field("IsRootEvent", FieldKind.INT, nullable=False),
+        Field("EventCode", FieldKind.STR, nullable=False),
+        Field("EventBaseCode", FieldKind.STR, nullable=False),
+        Field("EventRootCode", FieldKind.STR, nullable=False),
+        Field("QuadClass", FieldKind.INT, nullable=False),
+        Field("GoldsteinScale", FieldKind.FLOAT),
+        Field("NumMentions", FieldKind.INT, nullable=False),
+        Field("NumSources", FieldKind.INT, nullable=False),
+        Field("NumArticles", FieldKind.INT, nullable=False),
+        Field("AvgTone", FieldKind.FLOAT),
+    ]
+    + _geo_block("Actor1Geo_")
+    + _geo_block("Actor2Geo_")
+    + _geo_block("ActionGeo_")
+    + [
+        Field("DATEADDED", FieldKind.TIMESTAMP, nullable=False),
+        Field("SOURCEURL", FieldKind.STR),
+    ]
+)
+
+#: The 16 columns of the GDELT 2.0 Mentions table, in publication order.
+MENTIONS_SCHEMA: tuple[Field, ...] = (
+    Field("GlobalEventID", FieldKind.INT, nullable=False),
+    Field("EventTimeDate", FieldKind.TIMESTAMP, nullable=False),
+    Field("MentionTimeDate", FieldKind.TIMESTAMP, nullable=False),
+    Field("MentionType", FieldKind.INT, nullable=False),
+    Field("MentionSourceName", FieldKind.STR, nullable=False),
+    Field("MentionIdentifier", FieldKind.STR, nullable=False),
+    Field("SentenceID", FieldKind.INT),
+    Field("Actor1CharOffset", FieldKind.INT),
+    Field("Actor2CharOffset", FieldKind.INT),
+    Field("ActionCharOffset", FieldKind.INT),
+    Field("InRawText", FieldKind.INT),
+    Field("Confidence", FieldKind.INT),
+    Field("MentionDocLen", FieldKind.INT),
+    Field("MentionDocTone", FieldKind.FLOAT),
+    Field("MentionDocTranslationInfo", FieldKind.STR),
+    Field("Extras", FieldKind.STR),
+)
+
+#: Events columns materialized into the binary store.  These are exactly the
+#: columns the paper's analyses touch: event identity, when it happened,
+#: where it happened, how widely it was reported, and the seed article.
+EVENTS_CORE_FIELDS: tuple[str, ...] = (
+    "GlobalEventID",
+    "Day",
+    "EventRootCode",
+    "QuadClass",
+    "NumMentions",
+    "NumSources",
+    "NumArticles",
+    "AvgTone",
+    "ActionGeo_CountryCode",
+    "DATEADDED",
+    "SOURCEURL",
+)
+
+#: Mentions columns materialized into the binary store.
+MENTIONS_CORE_FIELDS: tuple[str, ...] = (
+    "GlobalEventID",
+    "EventTimeDate",
+    "MentionTimeDate",
+    "MentionSourceName",
+    "MentionIdentifier",
+    "Confidence",
+    "MentionDocTone",
+)
+
+
+def field_index(schema: tuple[Field, ...], name: str) -> int:
+    """Return the positional index of column ``name`` in ``schema``.
+
+    Raises:
+        KeyError: if the column does not exist.
+    """
+    for i, f in enumerate(schema):
+        if f.name == name:
+            return i
+    raise KeyError(f"no column {name!r} in schema")

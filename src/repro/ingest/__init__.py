@@ -1,0 +1,34 @@
+"""Preprocessing: raw GDELT archives → indexed binary dataset.
+
+This is the paper's "preprocessing tool": it walks the master file list,
+fetches each 15-minute chunk archive, parses and validates the TSV rows,
+and writes the indexed binary columnar dataset the query engine loads.
+Data problems are not fatal — they are counted and itemized in a
+:class:`~repro.ingest.validate.ProblemReport`, reproducing the paper's
+Table II audit.
+
+:mod:`repro.ingest.direct` is the vectorized fast path that converts an
+in-memory synthetic dataset straight to the binary format (or to a live
+store), bypassing TSV — used by benchmarks that do not measure ingest.
+"""
+
+from repro.ingest.fetch import LocalFetcher, FetchResult
+from repro.ingest.validate import ProblemReport
+from repro.ingest.accumulate import EventAccumulator, MentionAccumulator
+from repro.ingest.convert import convert_raw_to_binary, ConversionResult
+from repro.ingest.direct import dataset_to_binary, dataset_to_arrays
+from repro.ingest.stream import LiveFollower, PollResult
+
+__all__ = [
+    "LocalFetcher",
+    "FetchResult",
+    "ProblemReport",
+    "EventAccumulator",
+    "MentionAccumulator",
+    "convert_raw_to_binary",
+    "ConversionResult",
+    "dataset_to_binary",
+    "dataset_to_arrays",
+    "LiveFollower",
+    "PollResult",
+]

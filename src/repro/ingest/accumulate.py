@@ -1,0 +1,148 @@
+"""Row accumulators shared by batch conversion and streaming ingest.
+
+Both the one-shot converter and the live follower do the same work per
+row: validate, intern strings, and append typed values to growing
+columns.  The accumulators own that logic; the callers decide when to
+freeze the columns into sorted binary-layout arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.gdelt.csv_io import EventRecord, MentionRecord
+from repro.gdelt.time_util import timestamps_to_intervals
+from repro.ingest.validate import ProblemReport
+from repro.storage.columns import DictionaryBuilder, StringDictionary
+
+__all__ = ["EventAccumulator", "MentionAccumulator"]
+
+
+def _day_to_midnight_ts(day: int) -> int:
+    """YYYYMMDD → YYYYMMDD000000."""
+    return day * 10**6
+
+
+@dataclass(slots=True)
+class EventAccumulator:
+    """Collects validated event rows; freezes to the events table layout."""
+
+    ids: list[int] = field(default_factory=list)
+    days: list[int] = field(default_factory=list)
+    roots: list[int] = field(default_factory=list)
+    quads: list[int] = field(default_factory=list)
+    nm: list[int] = field(default_factory=list)
+    ns: list[int] = field(default_factory=list)
+    na: list[int] = field(default_factory=list)
+    tones: list[float] = field(default_factory=list)
+    country_codes: list[int] = field(default_factory=list)
+    added: list[int] = field(default_factory=list)
+    url_ids: list[int] = field(default_factory=list)
+    countries: DictionaryBuilder = field(default_factory=DictionaryBuilder)
+    urls: DictionaryBuilder = field(default_factory=DictionaryBuilder)
+
+    def __post_init__(self) -> None:
+        if len(self.countries) == 0:
+            self.countries.intern("")  # code 0 = untagged
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+    def add(self, e: EventRecord, report: ProblemReport) -> None:
+        """Validate and append one event row (never raises on content)."""
+        if not e.source_url:
+            report.note("missing_source_urls", str(e.global_event_id))
+        if _day_to_midnight_ts(e.day) > e.date_added:
+            report.note("future_event_dates", str(e.global_event_id))
+        self.ids.append(e.global_event_id)
+        self.days.append(e.day)
+        try:
+            root = int(e.event_root_code)
+        except ValueError:
+            root = 0
+        self.roots.append(root)
+        self.quads.append(e.quad_class)
+        self.nm.append(e.num_mentions)
+        self.ns.append(e.num_sources)
+        self.na.append(e.num_articles)
+        self.tones.append(e.avg_tone)
+        self.country_codes.append(self.countries.intern(e.action_geo_country))
+        self.added.append(e.date_added)
+        self.url_ids.append(self.urls.intern(e.source_url))
+
+    def freeze(self) -> tuple[dict[str, np.ndarray], StringDictionary, StringDictionary]:
+        """Sorted (by GlobalEventID) events table + its dictionaries."""
+        e_id = np.asarray(self.ids, dtype=np.int64)
+        day_iv = timestamps_to_intervals(
+            np.asarray([_day_to_midnight_ts(d) for d in self.days], dtype=np.int64)
+        ).astype(np.int32)
+        added_iv = timestamps_to_intervals(
+            np.asarray(self.added, dtype=np.int64)
+        ).astype(np.int32)
+        order = np.argsort(e_id, kind="stable")
+        table = {
+            "GlobalEventID": e_id[order],
+            "DayInterval": day_iv[order],
+            "RootCode": np.asarray(self.roots, dtype=np.uint8)[order],
+            "QuadClass": np.asarray(self.quads, dtype=np.uint8)[order],
+            "NumMentions": np.asarray(self.nm, dtype=np.int32)[order],
+            "NumSources": np.asarray(self.ns, dtype=np.int32)[order],
+            "NumArticles": np.asarray(self.na, dtype=np.int32)[order],
+            "AvgTone": np.asarray(self.tones, dtype=np.float32)[order],
+            "CountryCode": np.asarray(self.country_codes, dtype=np.int16)[order],
+            "AddedInterval": added_iv[order],
+            "SourceURLId": np.asarray(self.url_ids, dtype=np.int32)[order],
+        }
+        return table, self.countries.build(), self.urls.build()
+
+
+@dataclass(slots=True)
+class MentionAccumulator:
+    """Collects mention rows; freezes to the mentions table layout."""
+
+    eids: list[int] = field(default_factory=list)
+    ets: list[int] = field(default_factory=list)
+    mts: list[int] = field(default_factory=list)
+    src_ids: list[int] = field(default_factory=list)
+    url_ids: list[int] = field(default_factory=list)
+    conf: list[int] = field(default_factory=list)
+    tones: list[float] = field(default_factory=list)
+    sources: DictionaryBuilder = field(default_factory=DictionaryBuilder)
+    urls: DictionaryBuilder = field(default_factory=DictionaryBuilder)
+
+    def __len__(self) -> int:
+        return len(self.eids)
+
+    def add(self, m: MentionRecord, report: ProblemReport) -> None:
+        """Append one mention row."""
+        self.eids.append(m.global_event_id)
+        self.ets.append(m.event_time)
+        self.mts.append(m.mention_time)
+        self.src_ids.append(self.sources.intern(m.source_name))
+        self.url_ids.append(self.urls.intern(m.identifier))
+        self.conf.append(m.confidence)
+        self.tones.append(m.doc_tone)
+
+    def freeze(self) -> tuple[dict[str, np.ndarray], StringDictionary, StringDictionary]:
+        """Sorted (by capture interval) mentions table + dictionaries."""
+        m_eid = np.asarray(self.eids, dtype=np.int64)
+        e_iv = timestamps_to_intervals(np.asarray(self.ets, dtype=np.int64)).astype(
+            np.int32
+        )
+        m_iv = timestamps_to_intervals(np.asarray(self.mts, dtype=np.int64)).astype(
+            np.int32
+        )
+        order = np.argsort(m_iv, kind="stable")
+        table = {
+            "GlobalEventID": m_eid[order],
+            "EventInterval": e_iv[order],
+            "MentionInterval": m_iv[order],
+            "Delay": (m_iv[order] - e_iv[order]).astype(np.int32),
+            "SourceId": np.asarray(self.src_ids, dtype=np.int32)[order],
+            "UrlId": np.asarray(self.url_ids, dtype=np.int32)[order],
+            "Confidence": np.asarray(self.conf, dtype=np.int16)[order],
+            "DocTone": np.asarray(self.tones, dtype=np.float32)[order],
+        }
+        return table, self.sources.build(), self.urls.build()

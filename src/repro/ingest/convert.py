@@ -1,0 +1,185 @@
+"""Raw archives → indexed binary dataset (the preprocessing tool).
+
+Streams every chunk referenced by the master file list, validates rows,
+dictionary-encodes strings, converts timestamps to 15-minute interval
+indices, sorts both tables, precomputes the event→mentions join index,
+and writes one binary dataset directory.
+
+Table layouts produced (see DESIGN.md):
+
+* ``events``: GlobalEventID i64, DayInterval i32 (midnight interval of
+  the event day), RootCode u8, QuadClass u8, NumMentions/NumSources/
+  NumArticles i32, AvgTone f32, CountryCode i16 (``countries`` dict,
+  code 0 = untagged), AddedInterval i32, SourceURLId i32 (``event_urls``).
+* ``mentions``: GlobalEventID i64, EventInterval i32, MentionInterval
+  i32, Delay i32, SourceId i32 (``sources``), UrlId i32
+  (``mention_urls``), Confidence i16, DocTone f32.
+* indexes ``mentions_by_event`` (permutation), ``mentions_ev_lo`` /
+  ``mentions_ev_hi`` (per-event [start, end) into the permutation).
+"""
+
+from __future__ import annotations
+
+import zipfile
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.gdelt.csv_io import event_from_row, mention_from_row, open_chunk_text
+from repro.gdelt.masterlist import EXPORT_KIND, parse_master_list
+from repro.ingest.accumulate import EventAccumulator, MentionAccumulator
+from repro.ingest.fetch import LocalFetcher
+from repro.ingest.validate import ProblemReport
+from repro.storage.index import aligned_group_bounds, sort_permutation
+from repro.storage.writer import DatasetWriter
+
+__all__ = ["ConversionResult", "convert_raw_to_binary"]
+
+
+@dataclass(slots=True)
+class ConversionResult:
+    """What the converter produced."""
+
+    dataset_dir: Path
+    report: ProblemReport
+    n_events: int
+    n_mentions: int
+    n_sources: int
+    n_intervals: int
+
+
+#: Codec assignment used when compression is requested: delta-zlib for
+#: near-sorted interval columns, plain zlib for the rest of the bulky
+#: ones.  Key/id columns stay raw so the dataset remains partially
+#: mmap-able and index navigation stays zero-decode.
+COMPRESSED_EVENT_CODECS = {"DayInterval": "delta-zlib", "AvgTone": "zlib"}
+COMPRESSED_MENTION_CODECS = {
+    "MentionInterval": "delta-zlib",
+    "EventInterval": "zlib",
+    "Delay": "zlib",
+    "DocTone": "zlib",
+}
+
+
+def convert_raw_to_binary(
+    raw_dir: Path,
+    out_dir: Path,
+    verify_checksums: bool = False,
+    compress: bool = False,
+) -> ConversionResult:
+    """Run the full preprocessing pipeline.
+
+    Args:
+        raw_dir: mirror directory holding ``masterfilelist.txt`` and chunk
+            archives.
+        out_dir: destination dataset directory.
+        verify_checksums: md5-verify each archive against the master list.
+        compress: write bulky columns with the compression codecs (the
+            dataset loads identically; it just cannot be fully mmap-ed).
+
+    Returns:
+        :class:`ConversionResult` with the Table II problem report.
+    """
+    raw_dir = Path(raw_dir)
+    out_dir = Path(out_dir)
+    report = ProblemReport()
+
+    master_text = (raw_dir / "masterfilelist.txt").read_text(encoding="utf-8")
+    parsed = parse_master_list(master_text)
+    for line in parsed.malformed_lines:
+        report.note("malformed_master_entries", line[:120])
+
+    fetcher = LocalFetcher(raw_dir, verify_checksums=verify_checksums)
+    chunks = sorted(parsed.chunks, key=lambda c: (c.interval, c.kind))
+
+    events_acc = EventAccumulator()
+    mentions_acc = MentionAccumulator()
+
+    for ref in chunks:
+        res = fetcher.fetch(ref, report)
+        if res.path is None:
+            continue
+        if res.checksum_ok is False:
+            report.note("corrupt_archives", f"{res.path.name}: checksum mismatch")
+            continue
+        try:
+            fh = open_chunk_text(res.path)
+        except (zipfile.BadZipFile, ValueError, OSError) as exc:
+            report.note("corrupt_archives", f"{res.path.name}: {exc}")
+            continue
+        with fh:
+            if ref.kind == EXPORT_KIND:
+                for line in fh:
+                    line = line.rstrip("\n")
+                    if not line:
+                        continue
+                    try:
+                        e = event_from_row(line.split("\t"))
+                    except (ValueError, IndexError) as exc:
+                        report.note("bad_event_rows", f"{res.path.name}: {exc}")
+                        continue
+                    events_acc.add(e, report)
+            else:
+                for line in fh:
+                    line = line.rstrip("\n")
+                    if not line:
+                        continue
+                    try:
+                        m = mention_from_row(line.split("\t"))
+                    except (ValueError, IndexError) as exc:
+                        report.note("bad_mention_rows", f"{res.path.name}: {exc}")
+                        continue
+                    mentions_acc.add(m, report)
+
+    events, countries_dict, event_urls_dict = events_acc.freeze()
+    mentions, sources_dict, mention_urls_dict = mentions_acc.freeze()
+
+    perm = sort_permutation(mentions["GlobalEventID"])
+    sorted_eids = mentions["GlobalEventID"][perm]
+    bounds = aligned_group_bounds(events["GlobalEventID"], sorted_eids)
+
+    writer = DatasetWriter(out_dir)
+    writer.add_table(
+        "events",
+        events,
+        dictionaries={"CountryCode": "countries", "SourceURLId": "event_urls"},
+        codecs=COMPRESSED_EVENT_CODECS if compress else None,
+    )
+    writer.add_table(
+        "mentions",
+        mentions,
+        dictionaries={"SourceId": "sources", "UrlId": "mention_urls"},
+        codecs=COMPRESSED_MENTION_CODECS if compress else None,
+    )
+    writer.add_dictionary("countries", countries_dict)
+    writer.add_dictionary("event_urls", event_urls_dict)
+    writer.add_dictionary("sources", sources_dict)
+    writer.add_dictionary("mention_urls", mention_urls_dict)
+    writer.add_index("mentions_by_event", "mentions", "permutation", perm)
+    writer.add_index(
+        "mentions_ev_lo", "events", "boundaries", bounds[:, 0].astype(np.int64)
+    )
+    writer.add_index(
+        "mentions_ev_hi", "events", "boundaries", bounds[:, 1].astype(np.int64)
+    )
+
+    n_intervals = int(len(np.unique(mentions["MentionInterval"])))
+    writer.finish(
+        meta={
+            "origin": "raw-conversion",
+            "n_events": len(events_acc),
+            "n_mentions": len(mentions_acc),
+            "n_sources": len(sources_dict),
+            "n_intervals": n_intervals,
+            "problems_total": report.total(),
+        }
+    )
+    return ConversionResult(
+        dataset_dir=out_dir,
+        report=report,
+        n_events=len(events_acc),
+        n_mentions=len(mentions_acc),
+        n_sources=len(sources_dict),
+        n_intervals=n_intervals,
+    )

@@ -1,0 +1,176 @@
+"""Vectorized fast path: synthetic dataset → binary layout.
+
+Produces exactly the same tables, dictionaries, and indexes as
+:func:`repro.ingest.convert.convert_raw_to_binary`, but straight from the
+in-memory arrays of a :class:`~repro.synth.generator.SyntheticDataset`,
+skipping TSV serialization and parsing.  Benchmarks that measure *query*
+performance (not ingest) build their stores this way.
+
+URL dictionaries are the only Python-speed part (one f-string per
+article); pass ``include_urls=False`` to skip them when an experiment
+does not display URLs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.gdelt.codes import COUNTRIES
+from repro.gdelt.time_util import INTERVALS_PER_DAY
+from repro.storage.columns import StringDictionary
+from repro.storage.index import aligned_group_bounds, sort_permutation
+from repro.storage.writer import DatasetWriter
+from repro.synth.generator import SyntheticDataset, article_url
+
+__all__ = ["dataset_to_arrays", "dataset_to_binary"]
+
+
+def dataset_to_arrays(
+    ds: SyntheticDataset, include_urls: bool = True
+) -> tuple[dict, dict, dict]:
+    """Convert a synthetic dataset to binary-layout arrays.
+
+    Returns:
+        ``(events, mentions, dictionaries)`` where the dicts follow the
+        column layout documented in :mod:`repro.ingest.convert` and
+        ``dictionaries`` maps dictionary names to
+        :class:`~repro.storage.columns.StringDictionary` (URL dictionaries
+        are omitted when ``include_urls`` is false, and the corresponding
+        id columns hold -1).
+    """
+    ev, mt, cat = ds.events, ds.mentions, ds.catalog
+
+    # countries dictionary: code 0 = untagged, then roster order for
+    # countries actually present.
+    present = np.unique(ev.country_idx[ev.country_idx >= 0])
+    code_of = np.full(len(COUNTRIES), 0, dtype=np.int16)
+    names = [""]
+    for c in present:
+        code_of[c] = len(names)
+        names.append(COUNTRIES[int(c)].fips)
+    countries_dict = StringDictionary.from_strings(names)
+    ev_country_code = np.where(
+        ev.country_idx >= 0, code_of[np.clip(ev.country_idx, 0, None)], 0
+    ).astype(np.int16)
+
+    day_interval = ((ev.interval // INTERVALS_PER_DAY) * INTERVALS_PER_DAY).astype(
+        np.int32
+    )
+
+    events = {
+        "GlobalEventID": ev.event_id.astype(np.int64),
+        "DayInterval": day_interval,
+        "RootCode": ev.root_code.astype(np.uint8),
+        "QuadClass": ((ev.root_code.astype(np.int16) - 1) // 5 + 1).astype(np.uint8),
+        "NumMentions": ds.num_articles.astype(np.int32),
+        "NumSources": ds.num_sources.astype(np.int32),
+        "NumArticles": ds.num_articles.astype(np.int32),
+        "AvgTone": ev.avg_tone.astype(np.float32),
+        "CountryCode": ev_country_code,
+        "AddedInterval": ds.first_interval.astype(np.int32),
+    }
+    mentions = {
+        "GlobalEventID": ev.event_id[mt.event_row].astype(np.int64),
+        "EventInterval": ev.interval[mt.event_row].astype(np.int32),
+        "MentionInterval": mt.interval.astype(np.int32),
+        "Delay": mt.delay.astype(np.int32),
+        "SourceId": mt.source_idx.astype(np.int32),
+        "Confidence": mt.confidence.astype(np.int16),
+        "DocTone": mt.doc_tone.astype(np.float32),
+    }
+
+    dictionaries: dict[str, StringDictionary] = {
+        "countries": countries_dict,
+        "sources": StringDictionary.from_strings(cat.domains),
+    }
+
+    if include_urls:
+        domains = cat.domains
+        eids = ev.event_id
+        slugs = [
+            ds.cfg.mega_events[k].slug if k >= 0 else None
+            for k in ev.mega_idx
+        ]
+        m_urls = [
+            article_url(domains[s], int(eids[r]), int(k), slugs[r])
+            for s, r, k in zip(mt.source_idx, mt.event_row, mt.repeat_k)
+        ]
+        dictionaries["mention_urls"] = StringDictionary.from_strings(m_urls)
+        mentions["UrlId"] = np.arange(len(m_urls), dtype=np.int32)
+
+        seed = ds.seed_mention
+        e_urls = [
+            article_url(
+                domains[int(mt.source_idx[m])],
+                int(eids[r]),
+                int(mt.repeat_k[m]),
+                slugs[r],
+            )
+            for r, m in enumerate(seed)
+        ]
+        dictionaries["event_urls"] = StringDictionary.from_strings(e_urls)
+        events["SourceURLId"] = np.arange(len(e_urls), dtype=np.int32)
+    else:
+        mentions["UrlId"] = np.full(mt.n_mentions, -1, dtype=np.int32)
+        events["SourceURLId"] = np.full(ev.n_events, -1, dtype=np.int32)
+
+    return events, mentions, dictionaries
+
+
+def dataset_to_binary(
+    ds: SyntheticDataset,
+    out_dir: Path,
+    include_urls: bool = True,
+    compress: bool = False,
+) -> Path:
+    """Write a synthetic dataset as a binary dataset directory.
+
+    With ``compress=True`` the bulky interval/tone columns are written
+    with the compression codecs (same data, smaller files, no mmap).
+    """
+    from repro.ingest.convert import (
+        COMPRESSED_EVENT_CODECS,
+        COMPRESSED_MENTION_CODECS,
+    )
+
+    events, mentions, dictionaries = dataset_to_arrays(ds, include_urls=include_urls)
+
+    perm = sort_permutation(mentions["GlobalEventID"])
+    sorted_eids = mentions["GlobalEventID"][perm]
+    bounds = aligned_group_bounds(events["GlobalEventID"], sorted_eids)
+
+    writer = DatasetWriter(out_dir)
+    ev_dicts = {"CountryCode": "countries"}
+    mt_dicts = {"SourceId": "sources"}
+    if include_urls:
+        ev_dicts["SourceURLId"] = "event_urls"
+        mt_dicts["UrlId"] = "mention_urls"
+    writer.add_table(
+        "events",
+        events,
+        dictionaries=ev_dicts,
+        codecs=COMPRESSED_EVENT_CODECS if compress else None,
+    )
+    writer.add_table(
+        "mentions",
+        mentions,
+        dictionaries=mt_dicts,
+        codecs=COMPRESSED_MENTION_CODECS if compress else None,
+    )
+    for name, d in dictionaries.items():
+        writer.add_dictionary(name, d)
+    writer.add_index("mentions_by_event", "mentions", "permutation", perm)
+    writer.add_index("mentions_ev_lo", "events", "boundaries", bounds[:, 0].astype(np.int64))
+    writer.add_index("mentions_ev_hi", "events", "boundaries", bounds[:, 1].astype(np.int64))
+    writer.finish(
+        meta={
+            "origin": "synthetic-direct",
+            "n_events": int(ds.n_events),
+            "n_mentions": int(ds.n_articles),
+            "n_sources": int(ds.catalog.n_sources),
+            "seed": int(ds.cfg.seed),
+        }
+    )
+    return Path(out_dir)

@@ -1,0 +1,50 @@
+"""Chunk fetching.
+
+The paper's system downloads every archive referenced by the master file
+list.  Offline, the "download" is a lookup in a local mirror directory;
+the interface is kept transport-shaped (resolve → verify → open) so a
+real HTTP fetcher could be dropped in.  Missing archives are a recorded
+problem class (8 in the paper's run), not an error.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.gdelt.masterlist import ChunkRef
+from repro.ingest.validate import ProblemReport
+
+__all__ = ["FetchResult", "LocalFetcher"]
+
+
+@dataclass(slots=True)
+class FetchResult:
+    """Outcome of fetching one chunk."""
+
+    ref: ChunkRef
+    path: Path | None  # None = missing
+    checksum_ok: bool | None = None  # None = not verified
+
+
+class LocalFetcher:
+    """Resolves master-list chunk references against a local mirror."""
+
+    def __init__(self, mirror_dir: Path, verify_checksums: bool = False) -> None:
+        self.mirror_dir = Path(mirror_dir)
+        self.verify_checksums = verify_checksums
+
+    def fetch(self, ref: ChunkRef, report: ProblemReport) -> FetchResult:
+        """Resolve one chunk; records a ``missing_archives`` problem when
+        the file referenced by the master list does not exist."""
+        name = ref.entry.url.rsplit("/", 1)[-1]
+        path = self.mirror_dir / name
+        if not path.exists():
+            report.note("missing_archives", name)
+            return FetchResult(ref=ref, path=None)
+        checksum_ok = None
+        if self.verify_checksums:
+            digest = hashlib.md5(path.read_bytes()).hexdigest()
+            checksum_ok = digest == ref.entry.md5
+        return FetchResult(ref=ref, path=path, checksum_ok=checksum_ok)

@@ -1,0 +1,23 @@
+"""Shared-memory parallel runtime.
+
+The OpenMP stand-in: row-range chunking ("morsels"), a persistent thread
+team with static or dynamic scheduling, shared-memory array helpers for
+process-based execution, and a STREAM-style memory-bandwidth
+microbenchmark used to anchor the NUMA cost model (the paper quotes
+240 GB/s STREAM bandwidth for its dual-EPYC node).
+"""
+
+from repro.parallel.chunking import row_chunks, morsel_count
+from repro.parallel.pool import ThreadTeam
+from repro.parallel.sharedmem import SharedArray, shared_copy
+from repro.parallel.stream import stream_triad, StreamResult
+
+__all__ = [
+    "row_chunks",
+    "morsel_count",
+    "ThreadTeam",
+    "SharedArray",
+    "shared_copy",
+    "stream_triad",
+    "StreamResult",
+]

@@ -1,0 +1,203 @@
+"""Simulated message passing (the paper's future-work MPI layer).
+
+The paper closes by noting that extending the analysis beyond English
+"will require adding distributed memory capabilities using MPI".  This
+module provides that execution model without an MPI runtime: a fixed
+set of *ranks* run concurrently as threads, communicating only through
+explicit messages — no shared mutable state — with per-link traffic
+accounting so experiments can report communication volume next to
+speedup.
+
+Supported primitives mirror the mpi4py surface used in practice:
+``send``/``recv`` (point-to-point, tagged), ``barrier``, ``bcast``,
+``gather``, and ``allreduce`` (sum, over NumPy arrays).  Messages that
+are NumPy arrays are accounted by ``nbytes``; other payloads by their
+pickled size.
+"""
+
+from __future__ import annotations
+
+import pickle
+import queue
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+__all__ = ["TrafficStats", "SimComm", "run_ranks"]
+
+
+@dataclass(slots=True)
+class TrafficStats:
+    """Bytes and message counts moved over the simulated interconnect."""
+
+    messages: int = 0
+    bytes: int = 0
+    by_link: dict[tuple[int, int], int] = field(default_factory=dict)
+
+    def record(self, src: int, dst: int, nbytes: int) -> None:
+        self.messages += 1
+        self.bytes += nbytes
+        self.by_link[(src, dst)] = self.by_link.get((src, dst), 0) + nbytes
+
+
+def _payload_bytes(obj: Any) -> int:
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    try:
+        return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:  # unpicklable payloads still move *something*
+        return 0
+
+
+class _Shared:
+    """State shared by all rank views of one communicator."""
+
+    def __init__(self, n_ranks: int) -> None:
+        self.n_ranks = n_ranks
+        self.mailboxes: dict[tuple[int, int], queue.SimpleQueue] = {
+            (dst, tag): queue.SimpleQueue()
+            for dst in range(n_ranks)
+            for tag in range(_MAX_TAG)
+        }
+        self.barrier = threading.Barrier(n_ranks)
+        self.traffic = TrafficStats()
+        self.lock = threading.Lock()
+        self.collective_slots: dict[str, list] = {}
+
+
+_MAX_TAG = 8
+
+
+class SimComm:
+    """One rank's view of the simulated communicator."""
+
+    def __init__(self, shared: _Shared, rank: int) -> None:
+        self._shared = shared
+        self.rank = rank
+
+    @property
+    def size(self) -> int:
+        return self._shared.n_ranks
+
+    @property
+    def traffic(self) -> TrafficStats:
+        return self._shared.traffic
+
+    # -- point to point ------------------------------------------------------
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Send a payload to ``dest`` (non-blocking buffered semantics)."""
+        self._check_peer(dest)
+        nbytes = _payload_bytes(obj)
+        with self._shared.lock:
+            self._shared.traffic.record(self.rank, dest, nbytes)
+        self._shared.mailboxes[(dest, tag)].put((self.rank, obj))
+
+    def recv(self, source: int | None = None, tag: int = 0, timeout: float = 30.0):
+        """Blocking receive; returns the payload.
+
+        With ``source=None`` accepts from anyone; otherwise messages from
+        other senders on the same tag are requeued (FIFO fairness among
+        matching messages is preserved per sender, not globally).
+        """
+        box = self._shared.mailboxes[(self.rank, tag)]
+        stash = []
+        try:
+            while True:
+                src, obj = box.get(timeout=timeout)
+                if source is None or src == source:
+                    return obj
+                stash.append((src, obj))
+        finally:
+            for item in stash:
+                box.put(item)
+
+    # -- collectives ---------------------------------------------------------
+
+    def barrier(self) -> None:
+        self._shared.barrier.wait()
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        """Broadcast ``obj`` from ``root``; every rank returns the value."""
+        if self.rank == root:
+            for dst in range(self.size):
+                if dst != root:
+                    self.send(obj, dst, tag=_MAX_TAG - 1)
+            return obj
+        return self.recv(source=root, tag=_MAX_TAG - 1)
+
+    def gather(self, obj: Any, root: int = 0) -> list | None:
+        """Gather payloads to ``root`` (returns None elsewhere)."""
+        if self.rank == root:
+            out: list = [None] * self.size
+            out[root] = obj
+            for _ in range(self.size - 1):
+                src_obj = self.recv(source=None, tag=_MAX_TAG - 2)
+                src, payload = src_obj
+                out[src] = payload
+            return out
+        self.send((self.rank, obj), root, tag=_MAX_TAG - 2)
+        return None
+
+    def allreduce_sum(self, array: np.ndarray) -> np.ndarray:
+        """Sum a NumPy array across all ranks; every rank gets the total.
+
+        Implemented as gather-to-0 + broadcast (the bandwidth accounting
+        is what matters here, not the tree shape).
+        """
+        parts = self.gather(np.asarray(array), root=0)
+        if self.rank == 0:
+            total = np.sum(parts, axis=0)
+        else:
+            total = None
+        return self.bcast(total, root=0)
+
+    def _check_peer(self, peer: int) -> None:
+        if not 0 <= peer < self.size:
+            raise ValueError(f"rank {peer} out of range (size {self.size})")
+
+
+def run_ranks(
+    n_ranks: int,
+    fn: Callable[[SimComm], Any],
+    timeout: float = 60.0,
+) -> tuple[list[Any], TrafficStats]:
+    """Run ``fn(comm)`` on ``n_ranks`` concurrent ranks.
+
+    Returns:
+        (per-rank return values, traffic statistics).
+
+    Raises:
+        The first rank exception, after all ranks have finished or died.
+    """
+    if n_ranks < 1:
+        raise ValueError("need at least one rank")
+    shared = _Shared(n_ranks)
+    results: list[Any] = [None] * n_ranks
+    errors: list[BaseException] = []
+    lock = threading.Lock()
+
+    def runner(rank: int) -> None:
+        comm = SimComm(shared, rank)
+        try:
+            results[rank] = fn(comm)
+        except BaseException as exc:  # noqa: BLE001 - reported to caller
+            with lock:
+                errors.append(exc)
+            shared.barrier.abort()
+
+    threads = [
+        threading.Thread(target=runner, args=(r,), daemon=True)
+        for r in range(n_ranks)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=timeout)
+        if t.is_alive():
+            raise TimeoutError("simulated rank did not finish (deadlock?)")
+    if errors:
+        raise errors[0]
+    return results, shared.traffic

@@ -1,0 +1,84 @@
+"""Shared-memory NumPy arrays for process-based execution.
+
+Thread teams cover most of the engine, but the process-executor ablation
+needs zero-copy column sharing across processes.  ``SharedArray`` wraps
+``multiprocessing.shared_memory`` with NumPy views and explicit lifetime:
+the creator unlinks, attachers only close.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+__all__ = ["SharedArray", "shared_copy"]
+
+
+@dataclass(slots=True)
+class SharedArrayHandle:
+    """Picklable description of a shared array (send this to workers)."""
+
+    name: str
+    dtype: str
+    shape: tuple[int, ...]
+
+
+class SharedArray:
+    """A NumPy array backed by named shared memory."""
+
+    def __init__(
+        self, shm: shared_memory.SharedMemory, array: np.ndarray, owner: bool
+    ) -> None:
+        self._shm = shm
+        self.array = array
+        self._owner = owner
+        self._closed = False
+
+    @property
+    def handle(self) -> SharedArrayHandle:
+        return SharedArrayHandle(
+            name=self._shm.name, dtype=self.array.dtype.str, shape=self.array.shape
+        )
+
+    @classmethod
+    def create(cls, shape: tuple[int, ...], dtype) -> "SharedArray":
+        """Allocate a new zero-filled shared array (this process owns it)."""
+        dt = np.dtype(dtype)
+        nbytes = max(1, int(np.prod(shape)) * dt.itemsize)
+        shm = shared_memory.SharedMemory(create=True, size=nbytes)
+        arr = np.ndarray(shape, dtype=dt, buffer=shm.buf)
+        arr[...] = 0
+        return cls(shm, arr, owner=True)
+
+    @classmethod
+    def attach(cls, handle: SharedArrayHandle) -> "SharedArray":
+        """Attach to an existing shared array by handle (non-owning)."""
+        shm = shared_memory.SharedMemory(name=handle.name)
+        arr = np.ndarray(handle.shape, dtype=np.dtype(handle.dtype), buffer=shm.buf)
+        return cls(shm, arr, owner=False)
+
+    def close(self) -> None:
+        """Detach; the owner also unlinks the segment. Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        # Drop the NumPy view before closing the mapping.
+        self.array = None  # type: ignore[assignment]
+        self._shm.close()
+        if self._owner:
+            self._shm.unlink()
+
+    def __enter__(self) -> "SharedArray":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def shared_copy(arr: np.ndarray) -> SharedArray:
+    """Copy ``arr`` into newly allocated shared memory."""
+    sa = SharedArray.create(arr.shape, arr.dtype)
+    sa.array[...] = arr
+    return sa

@@ -1,0 +1,72 @@
+"""STREAM-style memory bandwidth microbenchmark.
+
+The paper anchors its hardware description in the STREAM benchmark
+(~240 GB/s on the dual EPYC 7601 node).  This is the same measurement in
+NumPy form — copy / scale / add / triad over arrays much larger than
+cache — used here to (a) characterize the host and (b) calibrate the
+analytic NUMA scaling model's bandwidth term.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["StreamResult", "stream_triad"]
+
+
+@dataclass(frozen=True, slots=True)
+class StreamResult:
+    """Measured bandwidths in GB/s (best of ``repeats``)."""
+
+    copy_gbs: float
+    scale_gbs: float
+    add_gbs: float
+    triad_gbs: float
+
+    @property
+    def best(self) -> float:
+        return max(self.copy_gbs, self.scale_gbs, self.add_gbs, self.triad_gbs)
+
+
+def _best_time(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def stream_triad(n: int = 10_000_000, repeats: int = 3) -> StreamResult:
+    """Run the four STREAM kernels over ``n`` float64 elements.
+
+    Byte accounting follows the original benchmark: copy/scale move
+    2 arrays per element, add/triad move 3.
+    """
+    if n < 1_000:
+        raise ValueError("array too small to measure bandwidth")
+    a = np.random.default_rng(0).random(n)
+    b = np.empty_like(a)
+    c = np.empty_like(a)
+    scalar = 3.0
+
+    t_copy = _best_time(lambda: np.copyto(b, a), repeats)
+    t_scale = _best_time(lambda: np.multiply(a, scalar, out=b), repeats)
+    t_add = _best_time(lambda: np.add(a, b, out=c), repeats)
+
+    def triad() -> None:
+        np.multiply(b, scalar, out=c)
+        np.add(a, c, out=c)
+
+    t_triad = _best_time(triad, repeats)
+
+    nbytes = a.nbytes
+    return StreamResult(
+        copy_gbs=2 * nbytes / t_copy / 1e9,
+        scale_gbs=2 * nbytes / t_scale / 1e9,
+        add_gbs=3 * nbytes / t_add / 1e9,
+        triad_gbs=3 * nbytes / t_triad / 1e9,
+    )

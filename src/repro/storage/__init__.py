@@ -1,0 +1,50 @@
+"""Indexed binary columnar storage.
+
+The paper's preprocessing tool converts the raw GDELT CSV dumps "into an
+indexed version of the database which contains data fields in machine-
+readable binary format"; the query engine then memory-loads those tables.
+This subpackage is that format: a dataset directory holding
+
+* ``manifest.json`` — format version, table/column metadata, row counts;
+* ``<table>/<column>.bin`` — raw little-endian fixed-width column files,
+  loadable with ``np.memmap`` (zero parse cost);
+* ``dict/<name>.*`` — shared string dictionaries (offsets + UTF-8 blob)
+  for dictionary-encoded columns such as source names and URLs;
+* ``index/*.bin`` — precomputed sort permutations and partition
+  boundaries used by the join and time-slice kernels.
+
+Writers validate shapes and fsync the manifest last, so a dataset
+directory is either complete or detectably unfinished.
+"""
+
+from repro.storage.format import (
+    FORMAT_VERSION,
+    ColumnMeta,
+    TableMeta,
+    DictionaryMeta,
+    IndexMeta,
+    Manifest,
+    StorageError,
+)
+from repro.storage.columns import StringDictionary, encode_strings
+from repro.storage.codecs import CODECS, codec_supports, decode_column, encode_column
+from repro.storage.writer import DatasetWriter
+from repro.storage.reader import DatasetReader
+
+__all__ = [
+    "FORMAT_VERSION",
+    "ColumnMeta",
+    "TableMeta",
+    "DictionaryMeta",
+    "IndexMeta",
+    "Manifest",
+    "StorageError",
+    "StringDictionary",
+    "encode_strings",
+    "CODECS",
+    "codec_supports",
+    "decode_column",
+    "encode_column",
+    "DatasetWriter",
+    "DatasetReader",
+]

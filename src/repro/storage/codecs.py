@@ -1,0 +1,179 @@
+"""Column compression codecs.
+
+The binary format's columns default to raw little-endian arrays (mmap-
+able, zero decode cost).  For large datasets two optional codecs trade
+decode time for space, selectable per column at write time:
+
+* ``delta-rle`` — delta encoding followed by run-length encoding of the
+  deltas.  Right for columns with genuinely long constant runs
+  (day-aligned intervals, partition ids, constant flags); a constant
+  column shrinks to a handful of bytes.
+* ``delta-zlib`` — delta encoding followed by byte compression of the
+  delta stream.  Right for *dense* sorted columns such as
+  MentionInterval, whose deltas are tiny but alternate too fast for RLE;
+  typically 4-10x on capture-interval columns.
+* ``zlib`` — general-purpose byte compression for everything else.
+
+Encoded columns cannot be memory-mapped; readers decode them into
+resident arrays regardless of the requested mode.  ``raw`` columns are
+unaffected, so mixed datasets stay partially mmap-able.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+__all__ = ["encode_column", "decode_column", "CODECS", "codec_supports"]
+
+#: Codec registry; "raw" is handled by the writer/reader fast path.
+CODECS = ("raw", "delta-rle", "delta-zlib", "zlib")
+
+_MAGIC_DELTA_RLE = b"DRL1"
+_MAGIC_DELTA_ZLIB = b"DZL1"
+_MAGIC_ZLIB = b"ZLB1"
+
+
+def codec_supports(codec: str, dtype: np.dtype) -> bool:
+    """Whether ``codec`` can encode columns of ``dtype``."""
+    if codec in ("raw", "zlib"):
+        return True
+    if codec in ("delta-rle", "delta-zlib"):
+        return np.issubdtype(np.dtype(dtype), np.integer) or np.dtype(dtype) == bool
+    return False
+
+
+def encode_column(arr: np.ndarray, codec: str) -> bytes:
+    """Encode a 1-D array with the given codec (not ``raw``).
+
+    Raises:
+        ValueError: unknown codec or unsupported dtype.
+    """
+    arr = np.ascontiguousarray(arr)
+    if arr.ndim != 1:
+        raise ValueError("codecs operate on 1-D columns")
+    if codec == "delta-rle":
+        if not codec_supports(codec, arr.dtype):
+            raise ValueError(f"delta-rle cannot encode dtype {arr.dtype}")
+        return _encode_delta_rle(arr)
+    if codec == "delta-zlib":
+        if not codec_supports(codec, arr.dtype):
+            raise ValueError(f"delta-zlib cannot encode dtype {arr.dtype}")
+        return _encode_delta_zlib(arr)
+    if codec == "zlib":
+        return _MAGIC_ZLIB + zlib.compress(arr.tobytes(), level=6)
+    raise ValueError(f"unknown codec {codec!r}")
+
+
+def decode_column(data: bytes, codec: str, dtype: np.dtype, n: int) -> np.ndarray:
+    """Decode bytes produced by :func:`encode_column`.
+
+    Raises:
+        ValueError: corrupt payload (bad magic, wrong element count).
+    """
+    dtype = np.dtype(dtype)
+    if codec == "delta-rle":
+        return _decode_delta_rle(data, dtype, n)
+    if codec == "delta-zlib":
+        return _decode_delta_zlib(data, dtype, n)
+    if codec == "zlib":
+        if data[:4] != _MAGIC_ZLIB:
+            raise ValueError("zlib column: bad magic")
+        raw = zlib.decompress(data[4:])
+        out = np.frombuffer(raw, dtype=dtype)
+        if len(out) != n:
+            raise ValueError(f"zlib column: {len(out)} elements, expected {n}")
+        return out.copy()
+    raise ValueError(f"unknown codec {codec!r}")
+
+
+def _encode_delta_rle(arr: np.ndarray) -> bytes:
+    """delta + run-length: header, first value, then (delta, run) pairs."""
+    a = arr.astype(np.int64, copy=False)
+    n = len(a)
+    if n == 0:
+        return _MAGIC_DELTA_RLE + np.int64(0).tobytes()
+    deltas = np.diff(a)
+    # Run boundaries over the delta stream.
+    if len(deltas):
+        change = np.concatenate([[True], deltas[1:] != deltas[:-1]])
+        starts = np.flatnonzero(change)
+        run_vals = deltas[starts]
+        run_lens = np.diff(np.concatenate([starts, [len(deltas)]]))
+    else:
+        run_vals = np.empty(0, dtype=np.int64)
+        run_lens = np.empty(0, dtype=np.int64)
+    parts = [
+        _MAGIC_DELTA_RLE,
+        np.int64(n).tobytes(),
+        np.int64(a[0]).tobytes(),
+        np.int64(len(run_vals)).tobytes(),
+        run_vals.astype("<i8").tobytes(),
+        run_lens.astype("<i8").tobytes(),
+    ]
+    return b"".join(parts)
+
+
+def _decode_delta_rle(data: bytes, dtype: np.dtype, n: int) -> np.ndarray:
+    if data[:4] != _MAGIC_DELTA_RLE:
+        raise ValueError("delta-rle column: bad magic")
+    header = np.frombuffer(data, dtype="<i8", count=1, offset=4)
+    stored_n = int(header[0])
+    if stored_n != n:
+        raise ValueError(f"delta-rle column: {stored_n} elements, expected {n}")
+    if n == 0:
+        return np.empty(0, dtype=dtype)
+    first = int(np.frombuffer(data, dtype="<i8", count=1, offset=12)[0])
+    n_runs = int(np.frombuffer(data, dtype="<i8", count=1, offset=20)[0])
+    off = 28
+    run_vals = np.frombuffer(data, dtype="<i8", count=n_runs, offset=off)
+    off += 8 * n_runs
+    run_lens = np.frombuffer(data, dtype="<i8", count=n_runs, offset=off)
+    if int(run_lens.sum()) != n - 1:
+        raise ValueError("delta-rle column: run lengths do not cover the column")
+    deltas = np.repeat(run_vals, run_lens)
+    out = np.empty(n, dtype=np.int64)
+    out[0] = first
+    np.cumsum(deltas, out=out[1:])
+    out[1:] += first
+    return out.astype(dtype)
+
+
+def _encode_delta_zlib(arr: np.ndarray) -> bytes:
+    """delta encoding + zlib over the delta stream."""
+    a = arr.astype(np.int64, copy=False)
+    n = len(a)
+    if n == 0:
+        payload = b""
+        first = 0
+    else:
+        first = int(a[0])
+        payload = zlib.compress(np.diff(a).astype("<i8").tobytes(), level=6)
+    return b"".join(
+        [
+            _MAGIC_DELTA_ZLIB,
+            np.int64(n).tobytes(),
+            np.int64(first).tobytes(),
+            payload,
+        ]
+    )
+
+
+def _decode_delta_zlib(data: bytes, dtype: np.dtype, n: int) -> np.ndarray:
+    if data[:4] != _MAGIC_DELTA_ZLIB:
+        raise ValueError("delta-zlib column: bad magic")
+    stored_n = int(np.frombuffer(data, dtype="<i8", count=1, offset=4)[0])
+    if stored_n != n:
+        raise ValueError(f"delta-zlib column: {stored_n} elements, expected {n}")
+    if n == 0:
+        return np.empty(0, dtype=dtype)
+    first = int(np.frombuffer(data, dtype="<i8", count=1, offset=12)[0])
+    deltas = np.frombuffer(zlib.decompress(data[20:]), dtype="<i8")
+    if len(deltas) != n - 1:
+        raise ValueError("delta-zlib column: delta stream length mismatch")
+    out = np.empty(n, dtype=np.int64)
+    out[0] = first
+    np.cumsum(deltas, out=out[1:])
+    out[1:] += first
+    return out.astype(dtype)

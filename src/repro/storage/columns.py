@@ -1,0 +1,108 @@
+"""String dictionary encoding.
+
+High-cardinality string columns (source domains, article URLs) are the
+expensive part of GDELT rows.  The binary format stores them as integer
+code columns plus one shared dictionary per namespace: an ``int64``
+offsets array (size + 1 entries) into a single UTF-8 blob.  Lookups are
+O(1) slices of the memory-mapped blob, and the whole dictionary never
+needs to be materialized as Python strings unless asked for.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+__all__ = ["StringDictionary", "DictionaryBuilder", "encode_strings"]
+
+
+class StringDictionary:
+    """An immutable id → string mapping backed by offsets + blob arrays."""
+
+    def __init__(self, offsets: np.ndarray, blob: np.ndarray) -> None:
+        """``offsets``: int64, len = size + 1, ascending, offsets[0] == 0.
+        ``blob``: uint8 UTF-8 bytes, len == offsets[-1]."""
+        offsets = np.asarray(offsets, dtype=np.int64)
+        blob = np.asarray(blob, dtype=np.uint8)
+        if len(offsets) == 0 or offsets[0] != 0:
+            raise ValueError("offsets must start at 0")
+        if len(blob) != int(offsets[-1]):
+            raise ValueError("blob length does not match final offset")
+        if np.any(np.diff(offsets) < 0):
+            raise ValueError("offsets must be non-decreasing")
+        self._offsets = offsets
+        self._blob = blob
+
+    def __len__(self) -> int:
+        return len(self._offsets) - 1
+
+    def __getitem__(self, code: int) -> str:
+        if not 0 <= code < len(self):
+            raise IndexError(f"dictionary code {code} out of range")
+        lo, hi = int(self._offsets[code]), int(self._offsets[code + 1])
+        return self._blob[lo:hi].tobytes().decode("utf-8")
+
+    def __iter__(self) -> Iterator[str]:
+        for i in range(len(self)):
+            yield self[i]
+
+    def to_list(self) -> list[str]:
+        """Materialize all entries (use sparingly on URL dictionaries)."""
+        return list(self)
+
+    def lengths(self) -> np.ndarray:
+        """Byte length of each entry, vectorized."""
+        return np.diff(self._offsets)
+
+    @property
+    def arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        return self._offsets, self._blob
+
+    @classmethod
+    def from_strings(cls, strings: Iterable[str]) -> "StringDictionary":
+        encoded = [s.encode("utf-8") for s in strings]
+        offsets = np.zeros(len(encoded) + 1, dtype=np.int64)
+        np.cumsum([len(b) for b in encoded], out=offsets[1:])
+        blob = np.frombuffer(b"".join(encoded), dtype=np.uint8)
+        return cls(offsets, blob)
+
+
+class DictionaryBuilder:
+    """Incremental string interner assigning codes by first occurrence."""
+
+    def __init__(self) -> None:
+        self._codes: dict[str, int] = {}
+        self._strings: list[str] = []
+
+    def __len__(self) -> int:
+        return len(self._strings)
+
+    def intern(self, s: str) -> int:
+        code = self._codes.get(s)
+        if code is None:
+            code = len(self._strings)
+            self._codes[s] = code
+            self._strings.append(s)
+        return code
+
+    def intern_many(self, strings: Iterable[str]) -> np.ndarray:
+        return np.fromiter(
+            (self.intern(s) for s in strings), dtype=np.int64, count=-1
+        )
+
+    def build(self) -> StringDictionary:
+        return StringDictionary.from_strings(self._strings)
+
+
+def encode_strings(strings: list[str]) -> tuple[np.ndarray, StringDictionary]:
+    """Dictionary-encode a string column in one shot.
+
+    Returns (codes, dictionary); codes are int32 when the dictionary fits,
+    else int64.
+    """
+    builder = DictionaryBuilder()
+    codes = builder.intern_many(strings)
+    if len(builder) <= np.iinfo(np.int32).max:
+        codes = codes.astype(np.int32)
+    return codes, builder.build()

@@ -1,0 +1,62 @@
+"""Index construction helpers.
+
+The "indexed" part of the binary format: precomputed sort permutations
+and group-boundary arrays that let the engine run joins and time slices
+with ``searchsorted`` instead of scans.
+
+Standard indexes written by the converter:
+
+* ``mentions_by_event`` — permutation of mention rows ordered by
+  GlobalEventID (event → its mentions becomes a binary search);
+* ``mentions_event_bounds`` — boundaries of equal-event runs within that
+  permutation, aligned with the *events* table row order;
+* ``events_by_interval`` / ``mentions_by_interval`` — nothing to store:
+  both tables are written pre-sorted by time, so time slices are
+  ``searchsorted`` on the interval columns directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["sort_permutation", "run_boundaries", "aligned_group_bounds"]
+
+
+def sort_permutation(keys: np.ndarray) -> np.ndarray:
+    """Stable sort permutation of ``keys`` (int32 when it fits)."""
+    perm = np.argsort(keys, kind="stable")
+    if len(perm) <= np.iinfo(np.int32).max:
+        return perm.astype(np.int32)
+    return perm
+
+
+def run_boundaries(sorted_keys: np.ndarray) -> np.ndarray:
+    """Start offsets of equal-key runs in a sorted array, plus the end.
+
+    ``boundaries[i] .. boundaries[i+1]`` is the i-th run.  Length is
+    ``n_runs + 1``.
+    """
+    n = len(sorted_keys)
+    if n == 0:
+        return np.zeros(1, dtype=np.int64)
+    starts = np.flatnonzero(np.concatenate([[True], sorted_keys[1:] != sorted_keys[:-1]]))
+    return np.concatenate([starts, [n]]).astype(np.int64)
+
+
+def aligned_group_bounds(
+    group_keys: np.ndarray, sorted_keys: np.ndarray
+) -> np.ndarray:
+    """[start, end) offsets into a sorted key array for each group key.
+
+    ``group_keys`` is the lookup order (e.g. the events table's
+    GlobalEventID column); the result has shape ``(len(group_keys) + 1,)``
+    when group keys are exactly the distinct sorted keys in order, but is
+    computed generally with two binary searches so missing keys yield
+    empty ranges.
+
+    Returns:
+        int64 array of shape (len(group_keys), 2).
+    """
+    lo = np.searchsorted(sorted_keys, group_keys, side="left")
+    hi = np.searchsorted(sorted_keys, group_keys, side="right")
+    return np.stack([lo, hi], axis=1).astype(np.int64)

@@ -1,0 +1,126 @@
+"""Dataset directory reader.
+
+Columns are exposed as ``np.memmap`` views by default (the OS page cache
+is the buffer pool; the paper's engine similarly loads tables into the
+node's large memory once).  ``mode="memory"`` copies columns into
+process-private arrays, which is what the benchmark harness uses for
+stable timings.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.storage.columns import StringDictionary
+from repro.storage.format import (
+    Manifest,
+    StorageError,
+    column_path,
+    dict_blob_path,
+    dict_offsets_path,
+    index_path,
+    manifest_path,
+)
+
+__all__ = ["DatasetReader"]
+
+
+class DatasetReader:
+    """Read-only access to one binary dataset directory."""
+
+    def __init__(self, root: Path, mode: str = "mmap") -> None:
+        """Open a dataset.
+
+        Args:
+            root: dataset directory.
+            mode: ``"mmap"`` (default) or ``"memory"``.
+
+        Raises:
+            StorageError: if the manifest is missing/invalid or any column
+                file has the wrong byte size for its row count.
+        """
+        if mode not in ("mmap", "memory"):
+            raise ValueError(f"unknown mode {mode!r}")
+        self.root = Path(root)
+        self.mode = mode
+        mpath = manifest_path(self.root)
+        if not mpath.exists():
+            raise StorageError(f"{self.root} is not a dataset (no manifest.json)")
+        self.manifest: Manifest = Manifest.from_json(
+            mpath.read_text(encoding="utf-8")
+        )
+        self._validate_sizes()
+
+    def _validate_sizes(self) -> None:
+        for t in self.manifest.tables:
+            for c in t.columns:
+                path = column_path(self.root, t.name, c.name)
+                if not path.exists():
+                    raise StorageError(f"missing column file {path}")
+                if c.codec == "raw":
+                    expect = t.rows * c.np_dtype().itemsize
+                else:
+                    expect = c.stored_bytes
+                actual = path.stat().st_size
+                if actual != expect:
+                    raise StorageError(
+                        f"{path}: {actual} bytes, expected {expect} "
+                        f"({t.rows} rows x {c.dtype}, codec {c.codec})"
+                    )
+
+    def tables(self) -> list[str]:
+        return [t.name for t in self.manifest.tables]
+
+    def rows(self, table: str) -> int:
+        return self.manifest.table(table).rows
+
+    def columns(self, table: str) -> list[str]:
+        return [c.name for c in self.manifest.table(table).columns]
+
+    def column(self, table: str, name: str) -> np.ndarray:
+        """Load one column (memmap view or in-memory copy per ``mode``).
+
+        Compressed columns decode into resident arrays in either mode.
+        """
+        t = self.manifest.table(table)
+        c = t.column(name)
+        path = column_path(self.root, table, name)
+        if c.codec != "raw":
+            from repro.storage.codecs import decode_column
+
+            return decode_column(path.read_bytes(), c.codec, c.np_dtype(), t.rows)
+        if self.mode == "mmap":
+            return np.memmap(path, dtype=c.np_dtype(), mode="r", shape=(t.rows,))
+        return np.fromfile(path, dtype=c.np_dtype())
+
+    def table_arrays(self, table: str) -> dict[str, np.ndarray]:
+        """Load every column of a table."""
+        return {c: self.column(table, c) for c in self.columns(table)}
+
+    def dictionary(self, name: str) -> StringDictionary:
+        """Load a shared string dictionary."""
+        meta = self.manifest.dictionary(name)
+        offsets = np.fromfile(dict_offsets_path(self.root, name), dtype="<i8")
+        blob = np.fromfile(dict_blob_path(self.root, name), dtype=np.uint8)
+        if len(offsets) != meta.size + 1:
+            raise StorageError(
+                f"dictionary {name}: {len(offsets) - 1} entries, "
+                f"manifest says {meta.size}"
+            )
+        return StringDictionary(offsets, blob)
+
+    def index(self, name: str) -> np.ndarray:
+        """Load an index array."""
+        meta = self.manifest.index(name)
+        path = index_path(self.root, name)
+        arr = np.fromfile(path, dtype=np.dtype(meta.dtype))
+        if len(arr) != meta.length:
+            raise StorageError(
+                f"index {name}: {len(arr)} entries, manifest says {meta.length}"
+            )
+        return arr
+
+    def has_index(self, name: str) -> bool:
+        return any(i.name == name for i in self.manifest.indexes)

@@ -1,0 +1,159 @@
+"""Dataset directory writer.
+
+Column bytes are written first; the manifest is written (and fsynced)
+last, so readers can treat the presence of a valid manifest as a commit
+record for the whole directory.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.storage.columns import StringDictionary
+from repro.storage.format import (
+    FORMAT_VERSION,
+    ColumnMeta,
+    DictionaryMeta,
+    IndexMeta,
+    Manifest,
+    StorageError,
+    TableMeta,
+    column_path,
+    dict_blob_path,
+    dict_offsets_path,
+    index_path,
+    manifest_path,
+)
+
+__all__ = ["DatasetWriter"]
+
+
+class DatasetWriter:
+    """Builds one binary dataset directory.
+
+    Usage::
+
+        w = DatasetWriter(path)
+        w.add_table("events", {"GlobalEventID": ids, ...})
+        w.add_dictionary("sources", source_dict)
+        w.add_index("mentions_by_event", "mentions", "permutation", perm)
+        w.finish(meta={"origin": "synthetic"})
+    """
+
+    def __init__(self, root: Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._manifest = Manifest(version=FORMAT_VERSION)
+        self._finished = False
+
+    def add_table(
+        self,
+        name: str,
+        columns: dict[str, np.ndarray],
+        dictionaries: dict[str, str] | None = None,
+        codecs: dict[str, str] | None = None,
+    ) -> None:
+        """Write all columns of a table.
+
+        Args:
+            name: table name.
+            columns: column name → 1-D array; all must share one length.
+            dictionaries: column name → dictionary name, for dict-encoded
+                columns.
+            codecs: column name → codec name (``delta-rle`` / ``zlib``);
+                unlisted columns stay ``raw`` (mmap-able).
+        """
+        self._check_open()
+        if not columns:
+            raise StorageError(f"table {name!r} has no columns")
+        lengths = {c: len(a) for c, a in columns.items()}
+        rows = next(iter(lengths.values()))
+        if any(n != rows for n in lengths.values()):
+            raise StorageError(f"table {name!r}: ragged columns {lengths}")
+        dictionaries = dictionaries or {}
+        codecs = codecs or {}
+
+        table = TableMeta(name=name, rows=rows)
+        for col, arr in columns.items():
+            arr = np.ascontiguousarray(arr)
+            if arr.ndim != 1:
+                raise StorageError(f"{name}.{col}: columns must be 1-D")
+            dtype_name = arr.dtype.name
+            codec = codecs.get(col, "raw")
+            path = column_path(self.root, name, col)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            if codec == "raw":
+                meta = ColumnMeta(
+                    name=col, dtype=dtype_name, dictionary=dictionaries.get(col)
+                )
+                arr.astype(meta.np_dtype(), copy=False).tofile(path)
+            else:
+                from repro.storage.codecs import encode_column
+
+                payload = encode_column(arr, codec)
+                path.write_bytes(payload)
+                meta = ColumnMeta(
+                    name=col,
+                    dtype=dtype_name,
+                    dictionary=dictionaries.get(col),
+                    codec=codec,
+                    stored_bytes=len(payload),
+                )
+            table.columns.append(meta)
+        self._manifest.tables.append(table)
+
+    def add_dictionary(self, name: str, dictionary: StringDictionary) -> None:
+        """Write a shared string dictionary (offsets + blob files)."""
+        self._check_open()
+        offsets, blob = dictionary.arrays
+        op = dict_offsets_path(self.root, name)
+        op.parent.mkdir(parents=True, exist_ok=True)
+        offsets.astype("<i8").tofile(op)
+        blob.tofile(dict_blob_path(self.root, name))
+        self._manifest.dictionaries.append(
+            DictionaryMeta(name=name, size=len(dictionary))
+        )
+
+    def add_index(
+        self, name: str, table: str, kind: str, data: np.ndarray
+    ) -> None:
+        """Write an index array (sort permutation or boundary offsets)."""
+        self._check_open()
+        if kind not in ("permutation", "boundaries"):
+            raise StorageError(f"unknown index kind {kind!r}")
+        data = np.ascontiguousarray(data)
+        path = index_path(self.root, name)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        data.tofile(path)
+        self._manifest.indexes.append(
+            IndexMeta(
+                name=name,
+                table=table,
+                kind=kind,
+                dtype=data.dtype.name,
+                length=len(data),
+            )
+        )
+
+    def finish(self, meta: dict | None = None) -> Manifest:
+        """Write the manifest; the dataset is now complete and immutable."""
+        self._check_open()
+        self._manifest.meta = dict(meta or {})
+        path = manifest_path(self.root)
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(self._manifest.to_json(), encoding="utf-8")
+        fd = os.open(tmp, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        tmp.replace(path)
+        self._finished = True
+        return self._manifest
+
+    def _check_open(self) -> None:
+        if self._finished:
+            raise StorageError("writer already finished")

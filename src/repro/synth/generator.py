@@ -1,0 +1,246 @@
+"""Top-level synthetic dataset assembly and raw-archive export.
+
+:func:`generate_dataset` runs the full pipeline (catalog → events →
+mentions) and resolves the event-table bookkeeping that GDELT itself
+derives from scraping: ``DATEADDED`` (capture time of the first article),
+the seed ``SOURCEURL``, and the ``NumMentions``/``NumSources``/
+``NumArticles`` counters.
+
+:func:`write_raw_archives` serializes a dataset into the exact on-disk
+layout the paper's preprocessing tool consumes: ``masterfilelist.txt``
+plus one zipped TSV per (chunk, table).  Chunks may aggregate several
+15-minute intervals (``chunk_intervals``) to keep file counts sane at
+reduced scale; the naming and formats are unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.gdelt.codes import COUNTRIES
+from repro.gdelt.csv_io import (
+    EventRecord,
+    MentionRecord,
+    event_to_row,
+    mention_to_row,
+    write_chunk_zip,
+)
+from repro.gdelt.masterlist import (
+    EXPORT_KIND,
+    MENTIONS_KIND,
+    chunk_basename,
+    entry_for_file,
+    format_master_list,
+)
+from repro.gdelt.time_util import interval_to_timestamp
+from repro.synth.config import SynthConfig
+from repro.synth.events import EventTable, generate_events
+from repro.synth.mentions import MentionTable, generate_mentions
+from repro.synth.sources import SourceCatalog, build_source_catalog
+
+__all__ = ["SyntheticDataset", "generate_dataset", "write_raw_archives", "article_url"]
+
+
+def article_url(
+    domain: str, event_id: int, repeat_k: int, slug: str | None = None
+) -> str:
+    """Deterministic unique URL for the ``repeat_k``-th article a source
+    published about an event.  Headline events carry a human-readable
+    slug (so the Table III URL column reads like the paper's)."""
+    stem = f"{slug}-{event_id}" if slug else str(event_id)
+    if repeat_k == 0:
+        return f"https://{domain}/news/{stem}"
+    return f"https://{domain}/news/{stem}-{repeat_k}"
+
+
+@dataclass(slots=True)
+class SyntheticDataset:
+    """A fully generated synthetic GDELT corpus (in memory).
+
+    ``first_interval``/``seed_mention`` give, per event row, the capture
+    interval of its first article and the mention-row index of that
+    article (GDELT's DATEADDED / SOURCEURL semantics).
+    """
+
+    cfg: SynthConfig
+    catalog: SourceCatalog
+    events: EventTable
+    mentions: MentionTable
+    first_interval: np.ndarray
+    seed_mention: np.ndarray
+    num_articles: np.ndarray
+    num_sources: np.ndarray
+
+    @property
+    def n_events(self) -> int:
+        return self.events.n_events
+
+    @property
+    def n_articles(self) -> int:
+        return self.mentions.n_mentions
+
+    def event_slug(self, row: int) -> str | None:
+        """Headline slug of event ``row`` (None for ordinary events)."""
+        k = int(self.events.mega_idx[row])
+        return self.cfg.mega_events[k].slug if k >= 0 else None
+
+    def event_seed_url(self, row: int) -> str:
+        """SOURCEURL of event ``row`` (URL of its first captured article)."""
+        m = int(self.seed_mention[row])
+        domain = self.catalog.domains[int(self.mentions.source_idx[m])]
+        return article_url(
+            domain,
+            int(self.events.event_id[row]),
+            int(self.mentions.repeat_k[m]),
+            self.event_slug(row),
+        )
+
+
+def _first_mentions(
+    events: EventTable, mentions: MentionTable
+) -> tuple[np.ndarray, np.ndarray]:
+    """(first capture interval, first mention row) per event row.
+
+    Mentions are already sorted by capture interval, so the first hit per
+    event in array order is the seed article.
+    """
+    n_ev = events.n_events
+    first_interval = np.full(n_ev, -1, dtype=np.int64)
+    seed_mention = np.full(n_ev, -1, dtype=np.int64)
+    # Reverse iteration via vectorized trick: for sorted mentions, assign
+    # positions back-to-front so the earliest occurrence wins.
+    rows = mentions.event_row
+    # Fancy-index assignment applies writes in index order, so writing in
+    # reverse mention order leaves each event holding its earliest mention.
+    seed_mention[rows[::-1]] = np.arange(len(rows), dtype=np.int64)[::-1]
+    valid = seed_mention >= 0
+    first_interval[valid] = mentions.interval[seed_mention[valid]]
+    return first_interval, seed_mention
+
+
+def generate_dataset(cfg: SynthConfig) -> SyntheticDataset:
+    """Generate a complete synthetic corpus for ``cfg`` (deterministic)."""
+    rng = np.random.default_rng(cfg.seed)
+    catalog = build_source_catalog(cfg, rng)
+    events = generate_events(cfg, rng)
+    mentions = generate_mentions(cfg, catalog, events, rng)
+
+    first_interval, seed_mention = _first_mentions(events, mentions)
+    num_articles = np.bincount(
+        mentions.event_row, minlength=events.n_events
+    ).astype(np.int64)
+
+    # Distinct sources per event via unique (event, source) pairs.
+    key = mentions.event_row * np.int64(catalog.n_sources) + mentions.source_idx
+    uniq = np.unique(key)
+    num_sources = np.bincount(
+        (uniq // catalog.n_sources).astype(np.int64), minlength=events.n_events
+    ).astype(np.int64)
+
+    return SyntheticDataset(
+        cfg=cfg,
+        catalog=catalog,
+        events=events,
+        mentions=mentions,
+        first_interval=first_interval,
+        seed_mention=seed_mention,
+        num_articles=num_articles,
+        num_sources=num_sources,
+    )
+
+
+def _event_record(ds: SyntheticDataset, row: int) -> EventRecord:
+    ev = ds.events
+    ci = int(ev.country_idx[row])
+    ts_event = interval_to_timestamp(int(ev.interval[row]))
+    return EventRecord(
+        global_event_id=int(ev.event_id[row]),
+        day=ts_event // 10**6,
+        event_root_code=f"{int(ev.root_code[row]):02d}",
+        quad_class=(int(ev.root_code[row]) - 1) // 5 + 1,
+        num_mentions=int(ds.num_articles[row]),
+        num_sources=int(ds.num_sources[row]),
+        num_articles=int(ds.num_articles[row]),
+        avg_tone=float(ev.avg_tone[row]),
+        action_geo_country=COUNTRIES[ci].fips if ci >= 0 else "",
+        date_added=interval_to_timestamp(int(ds.first_interval[row])),
+        source_url=ds.event_seed_url(row),
+    )
+
+
+def _mention_record(ds: SyntheticDataset, m: int) -> MentionRecord:
+    mt = ds.mentions
+    row = int(mt.event_row[m])
+    domain = ds.catalog.domains[int(mt.source_idx[m])]
+    return MentionRecord(
+        global_event_id=int(ds.events.event_id[row]),
+        event_time=interval_to_timestamp(int(ds.events.interval[row])),
+        mention_time=interval_to_timestamp(int(mt.interval[m])),
+        source_name=domain,
+        identifier=article_url(
+            domain,
+            int(ds.events.event_id[row]),
+            int(mt.repeat_k[m]),
+            ds.event_slug(row),
+        ),
+        confidence=int(mt.confidence[m]),
+        doc_tone=float(mt.doc_tone[m]),
+    )
+
+
+def write_raw_archives(
+    ds: SyntheticDataset,
+    out_dir: Path,
+    chunk_intervals: int = 96,
+) -> Path:
+    """Export the dataset as raw GDELT archives + master file list.
+
+    Events land in the chunk containing their DATEADDED capture interval,
+    mentions in the chunk containing their capture interval — mirroring
+    GDELT's publish-when-scraped behaviour.  Returns the master list path.
+    """
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    start = ds.cfg.start_interval
+    end = ds.cfg.end_interval
+
+    ev_chunk = (ds.first_interval - start) // chunk_intervals
+    mt_chunk = (ds.mentions.interval - start) // chunk_intervals
+    n_chunks = int(np.ceil((end - start) / chunk_intervals))
+
+    entries = []
+    ev_order = np.argsort(ev_chunk, kind="stable")
+    mt_order = np.argsort(mt_chunk, kind="stable")
+    ev_sorted = ev_chunk[ev_order]
+    mt_sorted = mt_chunk[mt_order]
+
+    for chunk in range(n_chunks):
+        interval0 = start + chunk * chunk_intervals
+        lo = np.searchsorted(ev_sorted, chunk, side="left")
+        hi = np.searchsorted(ev_sorted, chunk, side="right")
+        if hi > lo:
+            lines = []
+            for row in ev_order[lo:hi]:
+                lines.append("\t".join(event_to_row(_event_record(ds, int(row)))))
+            name = chunk_basename(interval0, EXPORT_KIND)
+            path = out_dir / name
+            write_chunk_zip(path, name[: -len(".zip")], "\n".join(lines) + "\n")
+            entries.append(entry_for_file(path))
+
+        lo = np.searchsorted(mt_sorted, chunk, side="left")
+        hi = np.searchsorted(mt_sorted, chunk, side="right")
+        if hi > lo:
+            lines = []
+            for m in mt_order[lo:hi]:
+                lines.append("\t".join(mention_to_row(_mention_record(ds, int(m)))))
+            name = chunk_basename(interval0, MENTIONS_KIND)
+            path = out_dir / name
+            write_chunk_zip(path, name[: -len(".zip")], "\n".join(lines) + "\n")
+            entries.append(entry_for_file(path))
+
+    master = out_dir / "masterfilelist.txt"
+    master.write_text(format_master_list(entries), encoding="utf-8")
+    return master

@@ -1,0 +1,61 @@
+"""Shared fixtures.
+
+Dataset generation is deterministic and cheap at test scale, but still
+worth sharing: the ``tiny`` corpus (full 2015-2019 window, ~13k articles)
+backs most analysis tests, and the ``raw`` corpus (short window) backs
+the ingest pipeline tests.  All are session-scoped and read-only — tests
+must not mutate store arrays.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.engine import GdeltStore
+from repro.ingest.direct import dataset_to_arrays
+from repro.synth import SynthConfig, generate_dataset, tiny_config, write_raw_archives
+
+
+@pytest.fixture(scope="session")
+def tiny_ds():
+    """The standard tiny synthetic corpus (full window)."""
+    return generate_dataset(tiny_config())
+
+
+@pytest.fixture(scope="session")
+def tiny_store(tiny_ds):
+    """A live store over the tiny corpus (with URL dictionaries)."""
+    events, mentions, dicts = dataset_to_arrays(tiny_ds, include_urls=True)
+    return GdeltStore.from_arrays(events, mentions, dicts)
+
+
+@pytest.fixture(scope="session")
+def raw_config():
+    """A short-window config small enough for raw TSV round trips."""
+    return SynthConfig(
+        seed=11,
+        n_sources=120,
+        n_events=1500,
+        end=dt.datetime(2015, 5, 1),
+    )
+
+
+@pytest.fixture(scope="session")
+def raw_ds(raw_config):
+    return generate_dataset(raw_config)
+
+
+@pytest.fixture(scope="session")
+def raw_dir(raw_ds, tmp_path_factory):
+    """Raw GDELT archives (master list + chunk zips) for the raw corpus."""
+    out = tmp_path_factory.mktemp("raw")
+    write_raw_archives(raw_ds, out, chunk_intervals=96)
+    return out
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1234)

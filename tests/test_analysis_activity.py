@@ -1,0 +1,82 @@
+"""Activity analyses (Figs 3-6)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import analysis as an
+from repro.engine import ThreadExecutor
+
+
+class TestArticlesPerSource:
+    def test_matches_bincount(self, tiny_store):
+        got = an.articles_per_source(tiny_store)
+        want = np.bincount(
+            tiny_store.mentions["SourceId"], minlength=tiny_store.n_sources
+        )
+        assert np.array_equal(got, want)
+
+    def test_parallel_equal(self, tiny_store):
+        with ThreadExecutor(3) as ex:
+            got = an.articles_per_source(tiny_store, ex)
+        assert np.array_equal(got, an.articles_per_source(tiny_store))
+
+    def test_total(self, tiny_store):
+        assert an.articles_per_source(tiny_store).sum() == tiny_store.n_mentions
+
+
+class TestTopPublishers:
+    def test_descending_order(self, tiny_store):
+        counts = an.articles_per_source(tiny_store)
+        top = an.top_publishers(tiny_store, 10)
+        assert len(top) == 10
+        assert (np.diff(counts[top]) <= 0).all()
+
+    def test_top1_is_global_max(self, tiny_store):
+        counts = an.articles_per_source(tiny_store)
+        top = an.top_publishers(tiny_store, 1)
+        assert counts[top[0]] == counts.max()
+
+    def test_k_larger_than_sources(self, tiny_store):
+        top = an.top_publishers(tiny_store, 10**6)
+        assert len(top) == tiny_store.n_sources
+
+
+class TestQuarterlySeries:
+    def test_sources_per_quarter_bounds(self, tiny_store):
+        spq = an.sources_per_quarter(tiny_store)
+        assert len(spq) == 20
+        assert (spq > 0).all()
+        assert spq.max() <= tiny_store.n_sources
+
+    def test_sources_per_quarter_brute(self, tiny_store):
+        spq = an.sources_per_quarter(tiny_store)
+        q = tiny_store.mention_quarter()
+        sid = np.asarray(tiny_store.mentions["SourceId"])
+        for quarter in (0, 7, 19):
+            assert spq[quarter] == len(np.unique(sid[q == quarter]))
+
+    def test_events_per_quarter_sums_to_total(self, tiny_store):
+        assert an.events_per_quarter(tiny_store).sum() == tiny_store.n_events
+
+    def test_articles_per_quarter_sums_to_total(self, tiny_store):
+        assert an.articles_per_quarter(tiny_store).sum() == tiny_store.n_mentions
+
+    def test_articles_per_quarter_parallel(self, tiny_store):
+        with ThreadExecutor(2) as ex:
+            got = an.articles_per_quarter(tiny_store, ex)
+        assert np.array_equal(got, an.articles_per_quarter(tiny_store))
+
+    def test_publisher_series_shape_and_totals(self, tiny_store):
+        ids = an.top_publishers(tiny_store, 5)
+        series = an.publisher_quarterly_series(tiny_store, ids)
+        assert series.shape == (5, 20)
+        counts = an.articles_per_source(tiny_store)
+        assert np.array_equal(series.sum(axis=1), counts[ids])
+
+    def test_publisher_series_brute(self, tiny_store):
+        ids = an.top_publishers(tiny_store, 3)
+        series = an.publisher_quarterly_series(tiny_store, ids)
+        q = tiny_store.mention_quarter()
+        sid = np.asarray(tiny_store.mentions["SourceId"])
+        assert series[1, 4] == int(((sid == ids[1]) & (q == 4)).sum())

@@ -1,0 +1,105 @@
+"""Co-reporting matrices: Jaccard properties, dense/sparse equivalence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import analysis as an
+from repro.analysis.coreporting import jaccard_from_co_counts, source_event_counts
+
+
+class TestSourceEventCounts:
+    def test_brute_force(self, tiny_store):
+        ids = an.top_publishers(tiny_store, 5)
+        e = source_event_counts(tiny_store, ids)
+        sid = np.asarray(tiny_store.mentions["SourceId"])
+        rows = tiny_store.mention_event_row()
+        for k, s in enumerate(ids):
+            assert e[k] == len(np.unique(rows[sid == s]))
+
+
+class TestJaccard:
+    def test_dense_matches_brute_force_pairs(self, tiny_store):
+        ids = an.top_publishers(tiny_store, 6)
+        j = an.source_coreporting(tiny_store, ids)
+        sid = np.asarray(tiny_store.mentions["SourceId"])
+        rows = tiny_store.mention_event_row()
+        sets = [set(np.unique(rows[sid == s]).tolist()) for s in ids]
+        for a in range(6):
+            for b in range(6):
+                if a == b:
+                    continue
+                inter = len(sets[a] & sets[b])
+                union = len(sets[a] | sets[b])
+                want = inter / union if union else 0.0
+                assert j[a, b] == pytest.approx(want)
+
+    def test_symmetric_zero_diagonal(self, tiny_store):
+        ids = an.top_publishers(tiny_store, 10)
+        j = an.source_coreporting(tiny_store, ids)
+        assert np.allclose(j, j.T)
+        assert (np.diag(j) == 0).all()
+        assert (j >= 0).all() and (j <= 1).all()
+
+    def test_sparse_equals_dense(self, tiny_store):
+        ids = an.top_publishers(tiny_store, 25)
+        dense = an.source_coreporting(tiny_store, ids)
+        sparse_q = an.source_coreporting_sparse(tiny_store, ids, quarter_chunks=True)
+        sparse_1 = an.source_coreporting_sparse(tiny_store, ids, quarter_chunks=False)
+        assert np.allclose(dense, sparse_q)
+        assert np.allclose(dense, sparse_1)
+
+    def test_all_sources_matrix_shape(self, tiny_store):
+        j = an.source_coreporting(tiny_store)
+        assert j.shape == (tiny_store.n_sources, tiny_store.n_sources)
+
+    def test_media_group_block_stands_out(self, tiny_store, tiny_ds):
+        """Fig 7's structure: the co-owned block co-reports far more than
+        independents do."""
+        ids = an.top_publishers(tiny_store, 50)
+        j = an.source_coreporting(tiny_store, ids)
+        gm = set(np.flatnonzero(tiny_ds.catalog.group_id == 0).tolist())
+        in_group = np.array([int(s) in gm for s in ids])
+        assert in_group.sum() >= 6
+        blk = j[np.ix_(in_group, in_group)]
+        rest = j[np.ix_(~in_group, ~in_group)]
+        off = lambda m: m[~np.eye(len(m), dtype=bool)].mean()  # noqa: E731
+        assert off(blk) > 1.8 * off(rest)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.lists(st.integers(0, 30), min_size=0, max_size=20),
+            min_size=2,
+            max_size=6,
+        )
+    )
+    def test_jaccard_from_counts_property(self, event_sets):
+        """jaccard_from_co_counts must equal set-based Jaccard."""
+        sets = [set(s) for s in event_sets]
+        k = len(sets)
+        co = np.zeros((k, k), dtype=np.int64)
+        for a in range(k):
+            for b in range(k):
+                co[a, b] = len(sets[a] & sets[b])
+        j = jaccard_from_co_counts(co)
+        for a in range(k):
+            for b in range(k):
+                if a == b:
+                    assert j[a, b] == 0
+                else:
+                    union = len(sets[a] | sets[b])
+                    want = len(sets[a] & sets[b]) / union if union else 0.0
+                    assert j[a, b] == pytest.approx(want)
+
+
+class TestCountryCoreporting:
+    def test_equals_aggregated_query(self, tiny_store):
+        from repro.engine import aggregated_country_query
+
+        j = an.country_coreporting(tiny_store)
+        want = aggregated_country_query(tiny_store).jaccard()
+        assert np.array_equal(j, want)

@@ -1,0 +1,94 @@
+"""Follow-reporting f_ij vs a brute-force reference."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import analysis as an
+from repro.analysis.followreporting import follow_reporting
+
+
+def brute_follow(store, ids):
+    """Direct per-article implementation of the paper's definition."""
+    ids = list(map(int, ids))
+    k = len(ids)
+    pos = {s: i for i, s in enumerate(ids)}
+    sid = np.asarray(store.mentions["SourceId"])
+    rows = store.mention_event_row()
+    t = np.asarray(store.mentions["MentionInterval"])
+
+    # First publication time per (event, chosen source).
+    first: dict[tuple[int, int], int] = {}
+    for m in range(store.n_mentions):
+        s = int(sid[m])
+        if s not in pos or rows[m] < 0:
+            continue
+        key = (int(rows[m]), pos[s])
+        if key not in first or t[m] < first[key]:
+            first[key] = int(t[m])
+
+    n_ij = np.zeros((k, k), dtype=np.int64)
+    n_j = np.zeros(k, dtype=np.int64)
+    for m in range(store.n_mentions):
+        s = int(sid[m])
+        if s not in pos:
+            continue
+        j = pos[s]
+        n_j[j] += 1
+        if rows[m] < 0:
+            continue
+        e = int(rows[m])
+        for i in range(k):
+            ft = first.get((e, i))
+            if ft is not None and ft < int(t[m]):
+                n_ij[i, j] += 1
+    with np.errstate(invalid="ignore", divide="ignore"):
+        return np.where(n_j[None, :] > 0, n_ij / n_j[None, :], 0.0)
+
+
+class TestFollowReporting:
+    def test_matches_brute_force(self, tiny_store):
+        ids = an.top_publishers(tiny_store, 6)
+        fast = follow_reporting(tiny_store, ids)
+        slow = brute_follow(tiny_store, ids)
+        assert np.allclose(fast, slow)
+
+    def test_values_are_fractions(self, tiny_store):
+        ids = an.top_publishers(tiny_store, 10)
+        f = follow_reporting(tiny_store, ids)
+        assert (f >= 0).all() and (f <= 1).all()
+
+    def test_diagonal_counts_repeats(self, tiny_store):
+        """f_jj > 0 requires repeat articles, which the generator creates."""
+        ids = an.top_publishers(tiny_store, 10)
+        f = follow_reporting(tiny_store, ids)
+        assert np.diag(f).max() > 0
+
+    def test_empty_selection(self, tiny_store):
+        f = follow_reporting(tiny_store, np.array([], dtype=np.int64))
+        assert f.shape == (0, 0)
+
+    def test_single_source(self, tiny_store):
+        ids = an.top_publishers(tiny_store, 1)
+        f = follow_reporting(tiny_store, ids)
+        assert f.shape == (1, 1)
+        assert 0 <= f[0, 0] < 1
+
+    def test_strictly_earlier_semantics(self, tiny_store):
+        """A source's first article on an event never follows itself."""
+        ids = an.top_publishers(tiny_store, 3)
+        f = follow_reporting(tiny_store, ids)
+        # If ties counted, the diagonal would approach 1; it must stay low.
+        assert np.diag(f).max() < 0.5
+
+    def test_group_members_follow_each_other_more(self, tiny_store, tiny_ds):
+        ids = an.top_publishers(tiny_store, 10)
+        gm = set(np.flatnonzero(tiny_ds.catalog.group_id == 0).tolist())
+        in_group = np.array([int(s) in gm for s in ids])
+        if in_group.sum() < 3:
+            pytest.skip("seed produced too few group members in top-10")
+        f = follow_reporting(tiny_store, ids)
+        blk = f[np.ix_(in_group, in_group)]
+        off = blk[~np.eye(len(blk), dtype=bool)]
+        assert off.mean() > 0.01

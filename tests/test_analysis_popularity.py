@@ -1,0 +1,90 @@
+"""Dataset statistics and popularity analyses (Table I, Fig 2, Table III)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import analysis as an
+
+
+class TestDatasetStatistics:
+    def test_counts(self, tiny_store, tiny_ds):
+        stats = an.dataset_statistics(tiny_store)
+        assert stats.n_events == tiny_ds.n_events
+        assert stats.n_articles == tiny_ds.n_articles
+        assert stats.n_sources == len(np.unique(tiny_ds.mentions.source_idx))
+        assert stats.n_capture_intervals == len(np.unique(tiny_ds.mentions.interval))
+
+    def test_weighted_average(self, tiny_store):
+        stats = an.dataset_statistics(tiny_store)
+        assert stats.weighted_avg_articles_per_event == pytest.approx(
+            tiny_store.n_mentions / tiny_store.n_events
+        )
+
+    def test_min_is_one(self, tiny_store):
+        """Every GDELT event has at least its seed article."""
+        assert an.dataset_statistics(tiny_store).min_articles_per_event == 1
+
+    def test_as_table_shape(self, tiny_store):
+        table = an.dataset_statistics(tiny_store).as_table()
+        assert len(table) == 7  # the seven Table I rows
+
+
+class TestHistogram:
+    def test_mass_conservation(self, tiny_store):
+        n, counts = an.event_article_histogram(tiny_store)
+        assert counts.sum() == tiny_store.n_events
+        assert (n * counts).sum() == tiny_store.n_mentions
+
+    def test_support_positive(self, tiny_store):
+        n, counts = an.event_article_histogram(tiny_store)
+        assert n.min() >= 1
+        assert (counts > 0).all()
+
+    def test_monotone_head(self, tiny_store):
+        """Power law: count(1) > count(2) > count(3)."""
+        n, counts = an.event_article_histogram(tiny_store)
+        c = dict(zip(n.tolist(), counts.tolist()))
+        assert c[1] > c[2] > c[3]
+
+
+class TestPowerLawFit:
+    def test_slope_negative_on_real_histogram(self, tiny_store):
+        n, counts = an.event_article_histogram(tiny_store)
+        slope, _ = an.fit_power_law(n, counts, n_max=int(n.max()))
+        assert -4.0 < slope < -1.2
+
+    def test_fit_recovers_exact_law(self):
+        n = np.arange(1, 100)
+        counts = (1e6 * n ** -2.5).astype(np.int64)
+        slope, intercept = an.fit_power_law(n, counts)
+        assert slope == pytest.approx(-2.5, abs=0.05)
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            an.fit_power_law(np.array([1]), np.array([10]))
+
+
+class TestTopEvents:
+    def test_sorted_descending(self, tiny_store):
+        top = an.top_events(tiny_store, 10)
+        counts = [m for m, _ in top]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_top1_is_max(self, tiny_store):
+        per_event = (tiny_store.ev_hi - tiny_store.ev_lo)
+        assert an.top_events(tiny_store, 1)[0][0] == int(per_event.max())
+
+    def test_urls_resolve(self, tiny_store):
+        for _, url in an.top_events(tiny_store, 5):
+            assert url.startswith("https://")
+
+    def test_mega_events_dominate(self, tiny_store, tiny_ds):
+        """The paper's Table III: headline events must top the ranking."""
+        top_counts = [m for m, _ in an.top_events(tiny_store, 5)]
+        mega_rows = np.flatnonzero(tiny_ds.events.mega_idx >= 0)
+        mega_counts = sorted(
+            tiny_ds.num_articles[mega_rows].tolist(), reverse=True
+        )
+        assert top_counts[0] == mega_counts[0]

@@ -1,0 +1,98 @@
+"""CLI end-to-end flows in temporary directories."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def tiny_binary(tmp_path_factory):
+    db = tmp_path_factory.mktemp("cli") / "db"
+    assert main(["synth", "--preset", "tiny", "--binary-dir", str(db)]) == 0
+    return db
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_synth_defaults(self):
+        args = build_parser().parse_args(["synth", "--binary-dir", "x"])
+        assert args.preset == "small"
+
+
+class TestSynth:
+    def test_needs_an_output(self, capsys):
+        assert main(["synth", "--preset", "tiny"]) == 2
+
+    def test_binary_output(self, tiny_binary):
+        assert (tiny_binary / "manifest.json").exists()
+
+    def test_raw_output_with_corruption(self, tmp_path, capsys):
+        raw = tmp_path / "raw"
+        # A tiny preset writes the full 2015-2019 window; keep the chunking
+        # coarse so this stays fast.
+        rc = main(
+            [
+                "synth", "--preset", "tiny", "--raw-dir", str(raw),
+                "--chunk-days", "30", "--corrupt",
+            ]
+        )
+        assert rc == 0
+        assert (raw / "masterfilelist.txt").exists()
+        out = capsys.readouterr().out
+        assert "planted defects" in out
+
+
+class TestQueries:
+    def test_stats(self, tiny_binary, capsys):
+        assert main(["stats", str(tiny_binary)]) == 0
+        assert "Capture intervals" in capsys.readouterr().out
+
+    def test_tables(self, tiny_binary, capsys):
+        assert main(["tables", str(tiny_binary)]) == 0
+        out = capsys.readouterr().out
+        assert "Table VIII" in out
+
+    def test_scaling_with_model(self, tiny_binary, capsys):
+        assert main(["scaling", str(tiny_binary), "--threads", "1", "2", "--model"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert " 64 " in out  # model extrapolation rows
+
+
+class TestAnalyses:
+    def test_wildfires(self, tiny_binary, capsys):
+        assert (
+            main(["wildfires", str(tiny_binary), "--window", "96",
+                  "--min-sources", "20"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "wildfire" in out.lower()
+        assert "https://" in out
+
+    def test_cluster(self, tiny_binary, capsys):
+        assert main(["cluster", str(tiny_binary), "--top", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "clusters among the top 30" in out
+        assert "cluster 1" in out
+
+
+class TestConvertCommand:
+    def test_synth_convert_stats_flow(self, tmp_path, capsys):
+        raw = tmp_path / "raw"
+        assert (
+            main(["synth", "--preset", "tiny", "--raw-dir", str(raw),
+                  "--chunk-days", "60"])
+            == 0
+        )
+        db = tmp_path / "db"
+        assert main(["convert", str(raw), str(db), "--compress"]) == 0
+        out = capsys.readouterr().out
+        assert "Problems found" in out
+        assert main(["stats", str(db)]) == 0
+        assert "Articles" in capsys.readouterr().out

@@ -1,0 +1,220 @@
+"""Column compression codecs and their storage integration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage import DatasetReader, DatasetWriter, StorageError
+from repro.storage.codecs import (
+    codec_supports,
+    decode_column,
+    encode_column,
+)
+
+
+def roundtrip(arr: np.ndarray, codec: str) -> np.ndarray:
+    return decode_column(encode_column(arr, codec), codec, arr.dtype, len(arr))
+
+
+class TestDeltaRle:
+    def test_sorted_roundtrip(self):
+        a = np.sort(np.random.default_rng(0).integers(0, 170_000, 10_000)).astype(
+            np.int32
+        )
+        assert np.array_equal(roundtrip(a, "delta-rle"), a)
+
+    def test_unsorted_roundtrip(self):
+        a = np.random.default_rng(1).integers(-(2**31), 2**31, 5_000).astype(np.int64)
+        assert np.array_equal(roundtrip(a, "delta-rle"), a)
+
+    def test_constant_column_compresses_massively(self):
+        a = np.full(100_000, 42, dtype=np.int32)
+        enc = encode_column(a, "delta-rle")
+        assert len(enc) < 100  # one run
+        assert np.array_equal(roundtrip(a, "delta-rle"), a)
+
+    def test_dense_sorted_column_is_rle_hostile(self):
+        """Dense sorted columns alternate 0/1 deltas too fast for RLE —
+        the reason delta-zlib exists."""
+        rng = np.random.default_rng(2)
+        a = np.sort(rng.integers(0, 170_000, 200_000)).astype(np.int32)
+        assert len(encode_column(a, "delta-rle")) > a.nbytes
+        assert np.array_equal(roundtrip(a, "delta-rle"), a)
+
+    def test_empty_and_single(self):
+        for a in (np.empty(0, dtype=np.int64), np.array([7], dtype=np.int16)):
+            assert np.array_equal(roundtrip(a, "delta-rle"), a)
+
+    def test_bool_supported_float_rejected(self):
+        assert codec_supports("delta-rle", np.dtype(bool))
+        assert not codec_supports("delta-rle", np.dtype(np.float32))
+        with pytest.raises(ValueError, match="dtype"):
+            encode_column(np.zeros(3, dtype=np.float64), "delta-rle")
+
+    def test_corrupt_payload_detected(self):
+        a = np.arange(100, dtype=np.int32)
+        enc = bytearray(encode_column(a, "delta-rle"))
+        enc[:4] = b"XXXX"
+        with pytest.raises(ValueError, match="magic"):
+            decode_column(bytes(enc), "delta-rle", a.dtype, 100)
+
+    def test_wrong_length_detected(self):
+        a = np.arange(100, dtype=np.int32)
+        enc = encode_column(a, "delta-rle")
+        with pytest.raises(ValueError):
+            decode_column(enc, "delta-rle", a.dtype, 99)
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.integers(-(2**40), 2**40), max_size=200))
+    def test_roundtrip_property(self, values):
+        a = np.array(values, dtype=np.int64)
+        assert np.array_equal(roundtrip(a, "delta-rle"), a)
+
+
+class TestDeltaZlib:
+    def test_sorted_interval_column_ratio(self):
+        """The motivating case: capture intervals sorted ascending
+        compress by several-fold."""
+        rng = np.random.default_rng(2)
+        a = np.sort(rng.integers(0, 170_000, 200_000)).astype(np.int32)
+        enc = encode_column(a, "delta-zlib")
+        assert len(enc) < a.nbytes / 3
+        assert np.array_equal(roundtrip(a, "delta-zlib"), a)
+
+    def test_unsorted_roundtrip(self):
+        a = np.random.default_rng(5).integers(-(2**50), 2**50, 3_000)
+        assert np.array_equal(roundtrip(a, "delta-zlib"), a)
+
+    def test_empty_and_single(self):
+        for a in (np.empty(0, dtype=np.int32), np.array([-9], dtype=np.int64)):
+            assert np.array_equal(roundtrip(a, "delta-zlib"), a)
+
+    def test_wrong_length_detected(self):
+        a = np.arange(50, dtype=np.int64)
+        with pytest.raises(ValueError):
+            decode_column(encode_column(a, "delta-zlib"), "delta-zlib", a.dtype, 51)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.integers(-(2**40), 2**40), max_size=150))
+    def test_roundtrip_property(self, values):
+        a = np.array(values, dtype=np.int64)
+        assert np.array_equal(roundtrip(a, "delta-zlib"), a)
+
+
+class TestZlib:
+    def test_roundtrip_floats(self):
+        a = np.random.default_rng(3).normal(size=10_000).astype(np.float32)
+        assert np.array_equal(roundtrip(a, "zlib"), a)
+
+    def test_compresses_redundant_data(self):
+        a = np.tile(np.arange(16, dtype=np.int64), 1_000)
+        assert len(encode_column(a, "zlib")) < a.nbytes / 4
+
+    def test_corrupt_magic(self):
+        a = np.arange(10, dtype=np.int64)
+        enc = b"NOPE" + encode_column(a, "zlib")[4:]
+        with pytest.raises(ValueError, match="magic"):
+            decode_column(enc, "zlib", a.dtype, 10)
+
+    def test_unknown_codec(self):
+        with pytest.raises(ValueError, match="unknown codec"):
+            encode_column(np.zeros(1), "lz77")
+
+
+class TestStorageIntegration:
+    def test_dataset_with_mixed_codecs(self, tmp_path):
+        rng = np.random.default_rng(4)
+        cols = {
+            "interval": np.sort(rng.integers(0, 10**5, 5_000)).astype(np.int32),
+            "tone": rng.normal(size=5_000).astype(np.float32),
+            "sid": rng.integers(0, 300, 5_000).astype(np.int32),
+        }
+        w = DatasetWriter(tmp_path / "db")
+        w.add_table(
+            "t", cols, codecs={"interval": "delta-rle", "tone": "zlib"}
+        )
+        w.finish()
+        for mode in ("mmap", "memory"):
+            r = DatasetReader(tmp_path / "db", mode=mode)
+            for name, want in cols.items():
+                assert np.array_equal(np.asarray(r.column("t", name)), want), name
+
+    def test_truncated_encoded_column_detected(self, tmp_path):
+        w = DatasetWriter(tmp_path / "db")
+        w.add_table(
+            "t",
+            {"x": np.arange(1000, dtype=np.int64)},
+            codecs={"x": "delta-rle"},
+        )
+        w.finish()
+        victim = tmp_path / "db" / "t" / "x.bin"
+        victim.write_bytes(victim.read_bytes()[:-4])
+        with pytest.raises(StorageError, match="bytes"):
+            DatasetReader(tmp_path / "db")
+
+    def test_unknown_codec_in_manifest(self, tmp_path):
+        w = DatasetWriter(tmp_path / "db")
+        w.add_table("t", {"x": np.arange(5)})
+        w.finish()
+        m = tmp_path / "db" / "manifest.json"
+        m.write_text(m.read_text().replace('"codec": "raw"', '"codec": "magic"'))
+        with pytest.raises(StorageError, match="codec"):
+            DatasetReader(tmp_path / "db")
+
+    def test_real_dataset_compressed_equivalence(self, raw_ds, tmp_path):
+        """A full synthetic dataset written with compressed time columns
+        must load identically to the raw-encoded one."""
+        from repro.ingest.direct import dataset_to_arrays
+
+        events, mentions, dicts = dataset_to_arrays(raw_ds, include_urls=False)
+        w = DatasetWriter(tmp_path / "dbz")
+        w.add_table(
+            "mentions",
+            mentions,
+            codecs={"MentionInterval": "delta-zlib", "DocTone": "zlib"},
+        )
+        w.finish()
+        r = DatasetReader(tmp_path / "dbz")
+        for col in mentions:
+            assert np.array_equal(
+                np.asarray(r.column("mentions", col)), mentions[col]
+            ), col
+
+
+class TestCompressedPipelines:
+    def test_convert_with_compression(self, raw_dir, raw_ds, tmp_path):
+        from repro.ingest import convert_raw_to_binary
+        from repro.engine import GdeltStore
+
+        plain = convert_raw_to_binary(raw_dir, tmp_path / "plain")
+        packed = convert_raw_to_binary(raw_dir, tmp_path / "packed", compress=True)
+        assert packed.n_mentions == plain.n_mentions
+
+        a = GdeltStore.open(plain.dataset_dir)
+        b = GdeltStore.open(packed.dataset_dir)
+        for col in a.mentions:
+            assert np.array_equal(
+                np.asarray(a.mentions[col]), np.asarray(b.mentions[col])
+            ), col
+
+        # The compressed mentions directory is measurably smaller.
+        def dir_bytes(root, sub):
+            return sum(p.stat().st_size for p in (root / sub).glob("*.bin"))
+
+        assert dir_bytes(packed.dataset_dir, "mentions") < 0.8 * dir_bytes(
+            plain.dataset_dir, "mentions"
+        )
+
+    def test_direct_with_compression(self, raw_ds, tmp_path):
+        from repro.engine import GdeltStore
+        from repro.ingest.direct import dataset_to_binary
+
+        out = dataset_to_binary(
+            raw_ds, tmp_path / "dbz", include_urls=False, compress=True
+        )
+        store = GdeltStore.open(out)
+        assert store.n_mentions == raw_ds.n_articles
+        assert store.mentions["Delay"].min() >= 1

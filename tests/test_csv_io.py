@@ -1,0 +1,152 @@
+"""Raw TSV (de)serialization round trips."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gdelt.csv_io import (
+    EventRecord,
+    MentionRecord,
+    event_from_row,
+    event_to_row,
+    mention_from_row,
+    mention_to_row,
+    open_chunk_text,
+    read_events_tsv,
+    read_mentions_tsv,
+    write_chunk_zip,
+    write_events_tsv,
+    write_mentions_tsv,
+)
+
+
+def make_event(**kw) -> EventRecord:
+    base = dict(
+        global_event_id=410000001,
+        day=20160612,
+        event_root_code="14",
+        quad_class=3,
+        num_mentions=17,
+        num_sources=9,
+        num_articles=17,
+        avg_tone=-3.25,
+        action_geo_country="US",
+        date_added=20160612021500,
+        source_url="https://example.com/news/410000001",
+    )
+    base.update(kw)
+    return EventRecord(**base)
+
+
+def make_mention(**kw) -> MentionRecord:
+    base = dict(
+        global_event_id=410000001,
+        event_time=20160612020000,
+        mention_time=20160612024500,
+        source_name="example.co.uk",
+        identifier="https://example.co.uk/news/410000001",
+        confidence=80,
+        doc_tone=-2.5,
+    )
+    base.update(kw)
+    return MentionRecord(**base)
+
+
+class TestEventRows:
+    def test_roundtrip(self):
+        e = make_event()
+        assert event_from_row(event_to_row(e)) == e
+
+    def test_row_width(self):
+        assert len(event_to_row(make_event())) == 61
+
+    def test_empty_url_roundtrips(self):
+        e = make_event(source_url="")
+        assert event_from_row(event_to_row(e)).source_url == ""
+
+    def test_untagged_geo(self):
+        e = make_event(action_geo_country="")
+        assert event_from_row(event_to_row(e)).action_geo_country == ""
+
+    def test_wrong_width_raises(self):
+        with pytest.raises(ValueError, match="columns"):
+            event_from_row(["1", "2", "3"])
+
+    def test_non_numeric_id_raises(self):
+        row = event_to_row(make_event())
+        row[0] = "not-a-number"
+        with pytest.raises(ValueError):
+            event_from_row(row)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        eid=st.integers(min_value=1, max_value=10**12),
+        day=st.just(20170304),
+        tone=st.floats(min_value=-10, max_value=10, allow_nan=False),
+        nm=st.integers(min_value=1, max_value=10_000),
+    )
+    def test_roundtrip_property(self, eid, day, tone, nm):
+        e = make_event(global_event_id=eid, day=day, avg_tone=tone, num_mentions=nm)
+        back = event_from_row(event_to_row(e))
+        assert back.global_event_id == eid
+        assert back.num_mentions == nm
+        assert abs(back.avg_tone - tone) < 1e-3  # %.4f formatting
+
+
+class TestMentionRows:
+    def test_roundtrip(self):
+        m = make_mention()
+        assert mention_from_row(mention_to_row(m)) == m
+
+    def test_row_width(self):
+        assert len(mention_to_row(make_mention())) == 16
+
+    def test_wrong_width_raises(self):
+        with pytest.raises(ValueError, match="columns"):
+            mention_from_row(["1"] * 15)
+
+
+class TestStreams:
+    def test_events_stream_roundtrip(self):
+        events = [make_event(global_event_id=i) for i in range(1, 6)]
+        buf = io.StringIO()
+        assert write_events_tsv(buf, events) == 5
+        buf.seek(0)
+        assert list(read_events_tsv(buf)) == events
+
+    def test_mentions_stream_roundtrip(self):
+        mentions = [make_mention(global_event_id=i) for i in range(1, 4)]
+        buf = io.StringIO()
+        assert write_mentions_tsv(buf, mentions) == 3
+        buf.seek(0)
+        assert list(read_mentions_tsv(buf)) == mentions
+
+    def test_blank_lines_skipped(self):
+        buf = io.StringIO("\n\n")
+        assert list(read_events_tsv(buf)) == []
+
+
+class TestChunkZip:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "x.export.CSV.zip"
+        write_chunk_zip(path, "x.export.CSV", "hello\tworld\n")
+        with open_chunk_text(path) as fh:
+            assert fh.read() == "hello\tworld\n"
+
+    def test_missing_archive_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            open_chunk_text(tmp_path / "nope.zip")
+
+    def test_multi_member_zip_rejected(self, tmp_path):
+        import zipfile
+
+        path = tmp_path / "bad.zip"
+        with zipfile.ZipFile(path, "w") as zf:
+            zf.writestr("a", "1")
+            zf.writestr("b", "2")
+        with pytest.raises(ValueError, match="members"):
+            open_chunk_text(path)

@@ -1,0 +1,121 @@
+"""Simulated MPI layer and the distributed aggregated query."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.distributed import distributed_country_query, partition_rows
+from repro.engine.query import aggregated_country_query
+from repro.parallel.mpi_sim import run_ranks
+
+
+class TestSimComm:
+    def test_send_recv(self):
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send({"x": 1}, dest=1)
+                return None
+            return comm.recv(source=0)
+
+        results, traffic = run_ranks(2, fn)
+        assert results[1] == {"x": 1}
+        assert traffic.messages == 1
+        assert traffic.bytes > 0
+
+    def test_numpy_traffic_accounted_by_nbytes(self):
+        arr = np.zeros(1000, dtype=np.int64)
+
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send(arr, dest=1)
+            else:
+                comm.recv(source=0)
+
+        _, traffic = run_ranks(2, fn)
+        assert traffic.bytes == arr.nbytes
+        assert traffic.by_link[(0, 1)] == arr.nbytes
+
+    def test_barrier_and_bcast(self):
+        def fn(comm):
+            comm.barrier()
+            return comm.bcast(comm.rank * 10 if comm.rank == 0 else None, root=0)
+
+        results, _ = run_ranks(3, fn)
+        assert results == [0, 0, 0]
+
+    def test_gather(self):
+        def fn(comm):
+            return comm.gather(comm.rank**2, root=0)
+
+        results, _ = run_ranks(4, fn)
+        assert results[0] == [0, 1, 4, 9]
+        assert results[1] is None
+
+    def test_allreduce_sum(self):
+        def fn(comm):
+            return comm.allreduce_sum(np.full(3, comm.rank + 1))
+
+        results, _ = run_ranks(3, fn)
+        for r in results:
+            assert np.array_equal(r, np.full(3, 6.0))
+
+    def test_rank_exception_propagates(self):
+        def fn(comm):
+            if comm.rank == 1:
+                raise RuntimeError("rank 1 died")
+            comm.barrier()
+
+        with pytest.raises((RuntimeError, Exception)):
+            run_ranks(2, fn)
+
+    def test_single_rank(self):
+        results, traffic = run_ranks(1, lambda comm: comm.allreduce_sum(np.ones(2)))
+        assert np.array_equal(results[0], np.ones(2))
+
+    def test_invalid_peer(self):
+        def fn(comm):
+            comm.send(1, dest=5)
+
+        with pytest.raises(ValueError):
+            run_ranks(2, fn)
+
+
+class TestPartitionRows:
+    def test_covers_everything(self):
+        slices = partition_rows(10, 3)
+        assert [s.stop - s.start for s in slices] == [4, 3, 3]
+        assert slices[0].start == 0
+        assert slices[-1].stop == 10
+
+    def test_more_ranks_than_rows(self):
+        slices = partition_rows(2, 5)
+        assert sum(s.stop - s.start for s in slices) == 2
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            partition_rows(10, 0)
+
+
+class TestDistributedQuery:
+    @pytest.mark.parametrize("n_ranks", [1, 2, 4])
+    def test_identical_to_single_node(self, tiny_store, n_ranks):
+        """Distributed execution must be bit-identical to local."""
+        local = aggregated_country_query(tiny_store)
+        report = distributed_country_query(tiny_store, n_ranks)
+        dist = report.result
+        assert np.array_equal(dist.cross_counts, local.cross_counts)
+        assert np.array_equal(dist.co_events, local.co_events)
+        assert np.array_equal(dist.publisher_articles, local.publisher_articles)
+
+    def test_traffic_scales_with_ranks(self, tiny_store):
+        """More ranks, more interconnect traffic (the MPI cost the paper
+        anticipates)."""
+        t2 = distributed_country_query(tiny_store, 2).traffic.bytes
+        t4 = distributed_country_query(tiny_store, 4).traffic.bytes
+        assert t4 > t2 > 0
+
+    def test_report_fields(self, tiny_store):
+        report = distributed_country_query(tiny_store, 2)
+        assert report.n_ranks == 2
+        assert report.bytes_per_rank == pytest.approx(report.traffic.bytes / 2)

@@ -1,0 +1,105 @@
+"""GdeltStore: derived columns, joins, navigation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.join import (
+    gather_event_column,
+    mention_mask_for_event_mask,
+    mentions_for_events,
+)
+from repro.gdelt.codes import COUNTRIES, source_country
+
+
+class TestDerivedColumns:
+    def test_source_country_matches_tld_rule(self, tiny_store):
+        idx = tiny_store.source_country_idx()
+        pos = {c.fips: i for i, c in enumerate(COUNTRIES)}
+        for sid in range(0, tiny_store.n_sources, 37):
+            fips = source_country(tiny_store.sources[sid])
+            want = pos[fips] if fips else -1
+            assert idx[sid] == want
+
+    def test_source_country_cached(self, tiny_store):
+        assert tiny_store.source_country_idx() is tiny_store.source_country_idx()
+
+    def test_event_country_roundtrip(self, tiny_store):
+        """Dictionary code -> roster index -> FIPS must match the stored code."""
+        roster = tiny_store.event_country_idx()
+        codes = tiny_store.events["CountryCode"]
+        for row in range(0, tiny_store.n_events, 503):
+            fips = tiny_store.countries[int(codes[row])]
+            if fips == "":
+                assert roster[row] == -1
+            else:
+                assert COUNTRIES[int(roster[row])].fips == fips
+
+    def test_mention_event_row_correct(self, tiny_store):
+        rows = tiny_store.mention_event_row()
+        eids = tiny_store.events["GlobalEventID"]
+        m = tiny_store.mentions["GlobalEventID"]
+        ok = rows >= 0
+        assert ok.all()  # synthetic data has no dangling mentions
+        assert np.array_equal(eids[rows], m)
+
+    def test_quarters_within_window(self, tiny_store):
+        assert tiny_store.mention_quarter().min() >= 0
+        assert tiny_store.n_quarters() == 20
+
+    def test_mention_event_quarter_le_mention_quarter(self, tiny_store):
+        assert (
+            tiny_store.mention_event_quarter() <= tiny_store.mention_quarter()
+        ).all()
+
+
+class TestNavigation:
+    def test_mentions_of_event_complete(self, tiny_store):
+        """Index navigation must equal a brute-force scan."""
+        m_eids = np.asarray(tiny_store.mentions["GlobalEventID"])
+        for row in (0, 17, tiny_store.n_events - 1):
+            got = np.sort(tiny_store.mentions_of_event(row))
+            eid = tiny_store.events["GlobalEventID"][row]
+            want = np.flatnonzero(m_eids == eid)
+            assert np.array_equal(got, want)
+
+    def test_mentions_for_events_batch(self, tiny_store):
+        rows = np.array([0, 5, 10])
+        got = np.sort(mentions_for_events(tiny_store, rows))
+        want = np.sort(
+            np.concatenate([tiny_store.mentions_of_event(int(r)) for r in rows])
+        )
+        assert np.array_equal(got, want)
+
+    def test_mentions_for_events_empty(self, tiny_store):
+        assert len(mentions_for_events(tiny_store, np.array([], dtype=int))) == 0
+
+    def test_semi_join_mask(self, tiny_store):
+        ev_mask = np.zeros(tiny_store.n_events, dtype=bool)
+        ev_mask[::2] = True
+        m_mask = mention_mask_for_event_mask(tiny_store, ev_mask)
+        rows = tiny_store.mention_event_row()
+        assert np.array_equal(m_mask, ev_mask[rows])
+
+    def test_gather_event_column(self, tiny_store):
+        per_event = tiny_store.events["NumArticles"]
+        per_mention = gather_event_column(tiny_store, per_event)
+        rows = tiny_store.mention_event_row()
+        assert np.array_equal(per_mention, np.asarray(per_event)[rows])
+
+
+class TestSizesAndUrls:
+    def test_counts(self, tiny_store, tiny_ds):
+        assert tiny_store.n_events == tiny_ds.n_events
+        assert tiny_store.n_mentions == tiny_ds.n_articles
+        assert tiny_store.n_sources == tiny_ds.catalog.n_sources
+
+    def test_memory_accounting_positive(self, tiny_store):
+        assert tiny_store.memory_bytes() > 0
+
+    def test_event_url_matches_generator(self, tiny_store, tiny_ds):
+        assert tiny_store.event_url(3) == tiny_ds.event_seed_url(3)
+
+    def test_mention_url_contains_domain(self, tiny_store):
+        sid = int(tiny_store.mentions["SourceId"][0])
+        assert tiny_store.sources[sid] in tiny_store.mention_url(0)

@@ -1,0 +1,93 @@
+"""Filter expression semantics vs plain NumPy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.expr import col, const
+
+
+@pytest.fixture()
+def table():
+    rng = np.random.default_rng(7)
+    return {
+        "a": rng.integers(0, 100, 500).astype(np.int64),
+        "b": rng.integers(0, 100, 500).astype(np.int64),
+        "f": rng.random(500),
+    }
+
+
+class TestComparisons:
+    def test_gt(self, table):
+        assert np.array_equal(
+            (col("a") > 50).evaluate(table), table["a"] > 50
+        )
+
+    def test_eq_ne(self, table):
+        assert np.array_equal((col("a") == 7).evaluate(table), table["a"] == 7)
+        assert np.array_equal((col("a") != 7).evaluate(table), table["a"] != 7)
+
+    def test_column_vs_column(self, table):
+        assert np.array_equal(
+            (col("a") <= col("b")).evaluate(table), table["a"] <= table["b"]
+        )
+
+
+class TestAlgebra:
+    def test_and_or_not(self, table):
+        e = (col("a") > 20) & ~(col("b") < 50) | (col("a") == 0)
+        want = (table["a"] > 20) & ~(table["b"] < 50) | (table["a"] == 0)
+        assert np.array_equal(e.evaluate(table), want)
+
+    def test_arithmetic(self, table):
+        e = (col("a") + col("b")) * 2 - 10 > 100
+        want = (table["a"] + table["b"]) * 2 - 10 > 100
+        assert np.array_equal(e.evaluate(table), want)
+
+    def test_floordiv(self, table):
+        e = (col("a") // 10) == 3
+        assert np.array_equal(e.evaluate(table), table["a"] // 10 == 3)
+
+    def test_isin(self, table):
+        e = col("a").isin([1, 2, 3, 95])
+        assert np.array_equal(
+            e.evaluate(table), np.isin(table["a"], [1, 2, 3, 95])
+        )
+
+
+class TestSlices:
+    def test_chunked_evaluation_concatenates(self, table):
+        e = col("a") > 50
+        full = e.evaluate(table)
+        parts = [e.evaluate(table, slice(i, i + 100)) for i in range(0, 500, 100)]
+        assert np.array_equal(np.concatenate(parts), full)
+
+    @settings(max_examples=30, deadline=None)
+    @given(lo=st.integers(0, 499), size=st.integers(1, 200))
+    def test_any_slice(self, lo, size):
+        rng = np.random.default_rng(7)
+        table = {
+            "a": rng.integers(0, 100, 500).astype(np.int64),
+            "b": rng.integers(0, 100, 500).astype(np.int64),
+            "f": rng.random(500),
+        }
+        e = (col("a") > col("b")) & (col("f") < 0.5)
+        sl = slice(lo, min(lo + size, 500))
+        want = (table["a"][sl] > table["b"][sl]) & (table["f"][sl] < 0.5)
+        assert np.array_equal(e.evaluate(table, sl), want)
+
+
+class TestErrors:
+    def test_unknown_column(self, table):
+        with pytest.raises(KeyError, match="no column"):
+            (col("zzz") > 1).evaluate(table)
+
+    def test_columns_introspection(self):
+        e = (col("a") > 1) & (col("b") < const(2))
+        assert e.columns() == {"a", "b"}
+
+    def test_repr_is_informative(self):
+        assert "a" in repr(col("a") > 1)

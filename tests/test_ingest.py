@@ -1,0 +1,210 @@
+"""Preprocessing pipeline: fetch, validate, convert — plus the key
+equivalence property: converting exported raw archives must produce the
+same logical dataset as the vectorized direct path."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import GdeltStore
+from repro.ingest import convert_raw_to_binary
+from repro.ingest.direct import dataset_to_arrays, dataset_to_binary
+from repro.ingest.validate import ProblemReport
+from repro.synth import CorruptionPlan, inject_corruption, write_raw_archives
+
+
+@pytest.fixture(scope="module")
+def converted(raw_dir, tmp_path_factory):
+    out = tmp_path_factory.mktemp("converted") / "db"
+    return convert_raw_to_binary(raw_dir, out)
+
+
+class TestCleanConversion:
+    def test_counts(self, converted, raw_ds):
+        assert converted.n_events == raw_ds.n_events
+        assert converted.n_mentions == raw_ds.n_articles
+
+    def test_no_problems_on_clean_data(self, converted):
+        assert converted.report.total() == 0
+
+    def test_openable_as_store(self, converted):
+        store = GdeltStore.open(converted.dataset_dir)
+        assert store.n_events == converted.n_events
+        assert store.n_mentions == converted.n_mentions
+
+    def test_equivalent_to_direct_path(self, converted, raw_ds):
+        """Raw TSV round trip and the vectorized fast path must agree on
+        every queryable quantity (the converter's correctness proof)."""
+        via_raw = GdeltStore.open(converted.dataset_dir)
+        ev, mt, dicts = dataset_to_arrays(raw_ds, include_urls=True)
+        direct = GdeltStore.from_arrays(ev, mt, dicts)
+
+        assert np.array_equal(
+            np.asarray(via_raw.events["GlobalEventID"]),
+            direct.events["GlobalEventID"],
+        )
+        assert np.array_equal(
+            np.asarray(via_raw.events["AddedInterval"]),
+            direct.events["AddedInterval"],
+        )
+        assert np.array_equal(
+            np.asarray(via_raw.events["NumArticles"]), direct.events["NumArticles"]
+        )
+        # Mentions are sorted by capture interval in both paths; within an
+        # interval order may differ, so compare order-insensitive digests.
+        for col in ("GlobalEventID", "EventInterval", "MentionInterval", "Delay"):
+            a = np.sort(np.asarray(via_raw.mentions[col]))
+            b = np.sort(direct.mentions[col])
+            assert np.array_equal(a, b), col
+
+        # Per-source article counts must match through the dictionaries.
+        def source_counts(store):
+            counts = np.bincount(
+                store.mentions["SourceId"], minlength=store.n_sources
+            )
+            return {store.sources[i]: int(c) for i, c in enumerate(counts) if c}
+
+        assert source_counts(via_raw) == source_counts(direct)
+
+    def test_event_country_agrees(self, converted, raw_ds):
+        via_raw = GdeltStore.open(converted.dataset_dir)
+        ev, mt, dicts = dataset_to_arrays(raw_ds)
+        direct = GdeltStore.from_arrays(ev, mt, dicts)
+        assert np.array_equal(
+            via_raw.event_country_idx(), direct.event_country_idx()
+        )
+
+    def test_join_index_valid(self, converted):
+        store = GdeltStore.open(converted.dataset_dir)
+        # Every event's indexed mentions actually reference it.
+        for row in (0, store.n_events // 2, store.n_events - 1):
+            rows = store.mentions_of_event(row)
+            eid = store.events["GlobalEventID"][row]
+            assert (np.asarray(store.mentions["GlobalEventID"])[rows] == eid).all()
+
+
+class TestDirectBinary:
+    def test_binary_equals_arrays(self, raw_ds, tmp_path):
+        out = dataset_to_binary(raw_ds, tmp_path / "db", include_urls=True)
+        via_disk = GdeltStore.open(out)
+        ev, mt, dicts = dataset_to_arrays(raw_ds, include_urls=True)
+        live = GdeltStore.from_arrays(ev, mt, dicts)
+        for col in live.mentions:
+            assert np.array_equal(
+                np.asarray(via_disk.mentions[col]), live.mentions[col]
+            ), col
+        assert via_disk.event_url(0) == live.event_url(0)
+        assert via_disk.mention_url(5) == live.mention_url(5)
+
+    def test_without_urls(self, raw_ds, tmp_path):
+        out = dataset_to_binary(raw_ds, tmp_path / "db2", include_urls=False)
+        store = GdeltStore.open(out)
+        assert store.event_url(0) is None
+        assert store.mention_url(0) is None
+
+
+class TestCorruptedConversion:
+    @pytest.fixture(scope="class")
+    def corrupt_setup(self, raw_ds, tmp_path_factory):
+        raw = tmp_path_factory.mktemp("corrupt_raw")
+        write_raw_archives(raw_ds, raw, chunk_intervals=96)
+        plan = CorruptionPlan(
+            malformed_master_entries=7,
+            missing_archives=3,
+            missing_source_urls=2,
+            future_event_dates=4,
+            seed=5,
+        )
+        receipt = inject_corruption(raw, plan)
+        out = tmp_path_factory.mktemp("corrupt_db") / "db"
+        result = convert_raw_to_binary(raw, out)
+        return plan, receipt, result
+
+    def test_receipt_matches_plan(self, corrupt_setup):
+        plan, receipt, _ = corrupt_setup
+        assert len(receipt.malformed_lines) == plan.malformed_master_entries
+        assert len(receipt.deleted_archives) == plan.missing_archives
+        assert len(receipt.blanked_event_ids) == plan.missing_source_urls
+        assert len(receipt.future_dated_event_ids) == plan.future_event_dates
+
+    def test_validator_finds_planted_defects(self, corrupt_setup):
+        """The Table II experiment: found == planted, per class."""
+        plan, _, result = corrupt_setup
+        rep = result.report
+        assert rep.malformed_master_entries == plan.malformed_master_entries
+        assert rep.missing_archives == plan.missing_archives
+        assert rep.missing_source_urls == plan.missing_source_urls
+        assert rep.future_event_dates == plan.future_event_dates
+
+    def test_conversion_still_succeeds(self, corrupt_setup, raw_ds):
+        _, receipt, result = corrupt_setup
+        # Rows from the 3 deleted archives are gone; everything else loads.
+        assert 0 < result.n_events <= raw_ds.n_events
+        assert 0 < result.n_mentions <= raw_ds.n_articles
+        store = GdeltStore.open(result.dataset_dir)
+        assert store.n_events == result.n_events
+
+
+class TestProblemReport:
+    def test_note_and_total(self):
+        rep = ProblemReport()
+        rep.note("missing_archives", "x.zip")
+        rep.note("bad_event_rows", "row 7")
+        assert rep.missing_archives == 1
+        assert rep.total() == 2
+        assert rep.examples["missing_archives"] == ["x.zip"]
+
+    def test_example_cap(self):
+        rep = ProblemReport()
+        for i in range(100):
+            rep.note("bad_mention_rows", f"row {i}")
+        assert rep.bad_mention_rows == 100
+        assert len(rep.examples["bad_mention_rows"]) == 20
+
+    def test_merge(self):
+        a, b = ProblemReport(), ProblemReport()
+        a.note("missing_archives", "a.zip")
+        b.note("missing_archives", "b.zip")
+        b.note("future_event_dates", "410")
+        a.merge(b)
+        assert a.missing_archives == 2
+        assert a.future_event_dates == 1
+        assert set(a.examples["missing_archives"]) == {"a.zip", "b.zip"}
+
+    def test_as_table_has_four_paper_rows(self):
+        assert len(ProblemReport().as_table()) == 4
+
+
+class TestCorruptArchives:
+    """Unreadable or checksum-failing archives are recorded, not fatal."""
+
+    def test_bad_zip_recorded(self, raw_ds, tmp_path):
+        from repro.synth import write_raw_archives
+
+        raw = tmp_path / "raw"
+        write_raw_archives(raw_ds, raw, chunk_intervals=96)
+        victim = sorted(raw.glob("*.export.CSV.zip"))[0]
+        victim.write_bytes(b"this is not a zip archive")
+        result = convert_raw_to_binary(raw, tmp_path / "db")
+        assert result.report.corrupt_archives == 1
+        assert result.n_events < raw_ds.n_events
+        assert result.n_events > 0
+
+    def test_checksum_mismatch_skips_chunk(self, raw_ds, tmp_path):
+        import zipfile
+
+        from repro.synth import write_raw_archives
+
+        raw = tmp_path / "raw"
+        write_raw_archives(raw_ds, raw, chunk_intervals=96)
+        # Rewrite one archive with different (but valid) content so its
+        # md5 no longer matches the master list.
+        victim = sorted(raw.glob("*.mentions.CSV.zip"))[0]
+        with zipfile.ZipFile(victim, "w") as zf:
+            zf.writestr("x.mentions.CSV", "")
+        result = convert_raw_to_binary(
+            raw, tmp_path / "db", verify_checksums=True
+        )
+        assert result.report.corrupt_archives == 1
+        assert result.n_mentions < raw_ds.n_articles

@@ -1,0 +1,139 @@
+"""NUMA topology model and the Fig 12 scaling cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.costmodel import (
+    PAPER_T1_SECONDS,
+    PAPER_T64_SECONDS,
+    ScalingModel,
+    calibrate_from_measurement,
+    calibrate_to_paper,
+)
+from repro.engine.numa import (
+    EPYC_7601_NODE,
+    NumaTopology,
+    Placement,
+    effective_bandwidth,
+)
+
+
+class TestTopology:
+    def test_paper_machine(self):
+        assert EPYC_7601_NODE.total_cores == 64
+        assert EPYC_7601_NODE.n_nodes == 8
+        assert EPYC_7601_NODE.peak_bw_gbs == pytest.approx(240.0)
+
+    def test_invalid_topologies(self):
+        with pytest.raises(ValueError):
+            NumaTopology(n_nodes=0)
+        with pytest.raises(ValueError):
+            NumaTopology(local_bw_gbs=-1)
+
+
+class TestPlacement:
+    def test_compact_fills_nodes_in_order(self):
+        counts = Placement(10, "compact").threads_per_node(EPYC_7601_NODE)
+        assert counts == [8, 2, 0, 0, 0, 0, 0, 0]
+
+    def test_scatter_round_robins(self):
+        counts = Placement(10, "scatter").threads_per_node(EPYC_7601_NODE)
+        assert counts == [2, 2, 1, 1, 1, 1, 1, 1]
+
+    def test_overflow_clamped_to_cores(self):
+        counts = Placement(999, "scatter").threads_per_node(EPYC_7601_NODE)
+        assert sum(counts) == 64
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            Placement(0)
+        with pytest.raises(ValueError):
+            Placement(1, "weird")
+
+
+class TestEffectiveBandwidth:
+    def test_monotone_in_threads(self):
+        prev = 0.0
+        for t in (1, 2, 4, 8, 16, 32, 64):
+            bw = effective_bandwidth(EPYC_7601_NODE, Placement(t, "scatter"))
+            assert bw >= prev
+            prev = bw
+
+    def test_never_exceeds_peak(self):
+        for t in (1, 8, 64):
+            for policy in ("compact", "scatter"):
+                bw = effective_bandwidth(EPYC_7601_NODE, Placement(t, policy))
+                assert bw <= EPYC_7601_NODE.peak_bw_gbs + 1e-9
+
+    def test_scatter_beats_compact_mid_range(self):
+        """Spreading threads across nodes unlocks more controllers."""
+        scatter = effective_bandwidth(EPYC_7601_NODE, Placement(8, "scatter"))
+        compact = effective_bandwidth(EPYC_7601_NODE, Placement(8, "compact"))
+        assert scatter >= compact
+
+    def test_node0_policy_caps_at_one_controller(self):
+        bw = effective_bandwidth(
+            EPYC_7601_NODE, Placement(64, "scatter"), memory_policy="node0"
+        )
+        assert bw <= EPYC_7601_NODE.local_bw_gbs
+
+    def test_full_machine_hits_stream_number(self):
+        bw = effective_bandwidth(EPYC_7601_NODE, Placement(64, "scatter"))
+        assert bw == pytest.approx(240.0)
+
+    def test_unknown_memory_policy(self):
+        with pytest.raises(ValueError):
+            effective_bandwidth(EPYC_7601_NODE, Placement(1), memory_policy="magic")
+
+
+class TestScalingModel:
+    def test_reproduces_paper_endpoints(self):
+        """Calibrated to the paper's t(1)=344 s, the model must land close
+        to the paper's t(64)=43 s — the Fig 12 anchor."""
+        model = calibrate_to_paper()
+        assert model.predict(1) == pytest.approx(PAPER_T1_SECONDS, rel=0.02)
+        assert model.predict(64) == pytest.approx(PAPER_T64_SECONDS, rel=0.10)
+
+    def test_speedup_shape(self):
+        """Near-linear early, saturating late (the paper's 'hampered by
+        I/O' observation)."""
+        model = calibrate_to_paper()
+        s2, s8, s64 = model.speedup(2), model.speedup(8), model.speedup(64)
+        assert 1.6 < s2 <= 2.0
+        assert 4.5 < s8 <= 8.0
+        assert 6.0 < s64 < 10.0
+        # Efficiency must decay.
+        assert s64 / 64 < s8 / 8 < s2 / 2
+
+    def test_time_monotone_nonincreasing(self):
+        model = calibrate_to_paper()
+        times = [model.predict(p) for p in (1, 2, 4, 8, 16, 32, 64)]
+        assert all(a >= b - 1e-9 for a, b in zip(times, times[1:]))
+
+    def test_curve_format(self):
+        model = calibrate_to_paper()
+        curve = model.curve([1, 2, 4])
+        assert [p for p, _ in curve] == [1, 2, 4]
+
+    def test_threads_beyond_cores_clamp(self):
+        model = calibrate_to_paper()
+        assert model.predict(128) == model.predict(64)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            calibrate_from_measurement(100.0, serial_fraction=0.8, memory_fraction=0.3)
+        with pytest.raises(ValueError):
+            calibrate_from_measurement(100.0, serial_fraction=-0.1)
+        with pytest.raises(ValueError):
+            ScalingModel(-1.0, 1.0, 1.0)
+        model = calibrate_to_paper()
+        with pytest.raises(ValueError):
+            model.predict(0)
+
+    def test_serial_fraction_floors_speedup(self):
+        """Amdahl: with 50% serial time, speedup can never reach 2.5x."""
+        model = calibrate_from_measurement(
+            100.0, serial_fraction=0.5, memory_fraction=0.1
+        )
+        assert model.speedup(64) < 2.5

@@ -1,0 +1,44 @@
+"""Package-level hygiene: imports, exports, versioning."""
+
+from __future__ import annotations
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _all_modules():
+    out = []
+    for mod in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        out.append(mod.name)
+    return out
+
+
+class TestImports:
+    def test_every_module_imports(self):
+        """Catch syntax/import errors in rarely-exercised modules."""
+        mods = _all_modules()
+        assert len(mods) > 30
+        for name in mods:
+            importlib.import_module(name)
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    @pytest.mark.parametrize(
+        "subpackage",
+        ["gdelt", "synth", "ingest", "storage", "engine", "parallel", "analysis"],
+    )
+    def test_all_exports_resolve(self, subpackage):
+        """Every name in a subpackage's __all__ must actually exist."""
+        mod = importlib.import_module(f"repro.{subpackage}")
+        for name in mod.__all__:
+            assert hasattr(mod, name), f"repro.{subpackage}.{name}"
+
+    def test_cli_entry_point_callable(self):
+        from repro.cli import main
+
+        assert callable(main)

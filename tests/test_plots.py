@@ -1,0 +1,98 @@
+"""Text figure rendering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.plots import ascii_heatmap, ascii_loglog, ascii_series
+
+
+class TestAsciiSeries:
+    def test_basic_shape(self):
+        out = ascii_series(["a", "bb"], np.array([1, 2]), title="t", width=10)
+        lines = out.splitlines()
+        assert lines[0] == "t"
+        assert len(lines) == 3
+        assert lines[2].count("█") == 10  # max bar fills the width
+
+    def test_proportionality(self):
+        out = ascii_series(["x", "y"], np.array([5, 10]), width=20)
+        bars = [line.count("█") for line in out.splitlines()]
+        assert bars == [10, 20]
+
+    def test_zero_values_have_no_bar(self):
+        out = ascii_series(["x", "y"], np.array([0, 4]), width=8)
+        assert out.splitlines()[0].count("█") == 0
+
+    def test_all_zero(self):
+        out = ascii_series(["x"], np.array([0]))
+        assert "0" in out
+
+    def test_empty(self):
+        assert ascii_series([], np.array([]), title="t") == "t\n"
+
+    def test_errors(self):
+        with pytest.raises(ValueError, match="align"):
+            ascii_series(["a"], np.array([1, 2]))
+        with pytest.raises(ValueError, match="non-negative"):
+            ascii_series(["a"], np.array([-1]))
+
+
+class TestAsciiLoglog:
+    def test_power_law_renders_monotone(self):
+        x = np.arange(1, 200)
+        y = 1e5 * x**-2.0
+        out = ascii_loglog(x, y, height=10, width=40)
+        rows = out.splitlines()[1:-2]
+        # First marker column per row should move rightwards going down.
+        firsts = [r.index("o") for r in rows if "o" in r]
+        assert firsts == sorted(firsts)
+
+    def test_drops_nonpositive(self):
+        out = ascii_loglog(np.array([0, 1, 10]), np.array([5, 5, 1]))
+        assert "o" in out
+
+    def test_all_nonpositive_raises(self):
+        with pytest.raises(ValueError):
+            ascii_loglog(np.array([0]), np.array([0]))
+
+    def test_single_point(self):
+        out = ascii_loglog(np.array([10]), np.array([100]))
+        assert out.count("o") == 1
+
+
+class TestAsciiHeatmap:
+    def test_shading_monotone(self):
+        m = np.array([[0.0, 1.0, 2.0, 4.0]])
+        out = ascii_heatmap(m)
+        row = out.splitlines()[0].split()[-1]
+        shades = " .:-=+*#%@"
+        ranks = [shades.index(c) for c in row]
+        assert ranks == sorted(ranks)
+
+    def test_log_mode_reveals_mid_range(self):
+        """Linear shading crushes 100 next to 1e6; log shading shows it."""
+        m = np.array([[1.0, 100.0, 1e6]])
+        shades = " .:-=+*#%@"
+
+        def cell(out, i):
+            return out.splitlines()[0][-3:][i]
+
+        lin = ascii_heatmap(m)
+        log = ascii_heatmap(m, log=True)
+        assert cell(lin, 1) == " "  # invisible on a linear scale
+        assert shades.index(cell(log, 1)) >= 3  # clearly visible in log
+
+    def test_labels(self):
+        out = ascii_heatmap(
+            np.eye(2), row_labels=["alpha", "beta"], col_labels=["A", "B"]
+        )
+        assert "alpha" in out and "beta" in out
+        assert "AB" in out
+
+    def test_errors(self):
+        with pytest.raises(ValueError, match="2-D"):
+            ascii_heatmap(np.zeros(3))
+        with pytest.raises(ValueError, match="non-negative"):
+            ascii_heatmap(np.array([[-1.0]]))

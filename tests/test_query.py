@@ -1,0 +1,245 @@
+"""Query builder and the aggregated country query."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    GdeltStore,
+    Query,
+    SerialExecutor,
+    ThreadExecutor,
+    aggregated_country_query,
+    col,
+)
+from repro.engine.baseline import row_at_a_time_country_query
+
+
+class TestQueryBuilder:
+    def test_count_unfiltered(self, tiny_store):
+        assert Query(tiny_store, "mentions").count() == tiny_store.n_mentions
+
+    def test_count_filtered(self, tiny_store):
+        got = Query(tiny_store, "mentions").filter(col("Delay") > 96).count()
+        want = int((np.asarray(tiny_store.mentions["Delay"]) > 96).sum())
+        assert got == want
+
+    def test_filters_conjoin(self, tiny_store):
+        q = (
+            Query(tiny_store, "mentions")
+            .filter(col("Delay") > 10)
+            .filter(col("Confidence") >= 50)
+        )
+        d = np.asarray(tiny_store.mentions["Delay"])
+        c = np.asarray(tiny_store.mentions["Confidence"])
+        assert q.count() == int(((d > 10) & (c >= 50)).sum())
+
+    def test_sum_and_mean(self, tiny_store):
+        q = Query(tiny_store, "mentions").filter(col("Delay") <= 96)
+        d = np.asarray(tiny_store.mentions["Delay"])
+        sel = d[d <= 96]
+        assert q.sum("Delay") == pytest.approx(sel.sum())
+        assert q.mean("Delay") == pytest.approx(sel.mean())
+
+    def test_mean_of_empty_filter_is_nan(self, tiny_store):
+        q = Query(tiny_store, "mentions").filter(col("Delay") > 10**9)
+        assert np.isnan(q.mean("Delay"))
+
+    def test_groupby_count(self, tiny_store):
+        keys = tiny_store.mention_quarter().astype(np.int64)
+        got = Query(tiny_store, "mentions").groupby_count(keys, 20)
+        assert np.array_equal(got, np.bincount(keys, minlength=20))
+
+    def test_groupby_stats_match_numpy(self, tiny_store):
+        keys = np.asarray(tiny_store.mentions["SourceId"]).astype(np.int64)
+        stats = Query(tiny_store, "mentions").groupby_stats(
+            keys, "Delay", tiny_store.n_sources
+        )
+        d = np.asarray(tiny_store.mentions["Delay"])
+        sid = 0
+        mine = d[keys == sid]
+        if len(mine):
+            assert stats["min"][sid] == mine.min()
+            assert stats["median"][sid] == pytest.approx(np.median(mine))
+
+    def test_events_table(self, tiny_store):
+        q = Query(tiny_store, "events").filter(col("NumArticles") >= 10)
+        want = int((np.asarray(tiny_store.events["NumArticles"]) >= 10).sum())
+        assert q.count() == want
+
+    def test_unknown_table(self, tiny_store):
+        with pytest.raises(ValueError):
+            Query(tiny_store, "gkg")
+
+    def test_mask_concatenation(self, tiny_store):
+        q = Query(tiny_store, "mentions").filter(col("Delay") > 96)
+        assert q.mask().sum() == q.count()
+
+    def test_thread_executor_equivalent(self, tiny_store):
+        q = Query(tiny_store, "mentions").filter(col("Delay") > 96)
+        with ThreadExecutor(3) as ex:
+            assert q.with_executor(ex).count() == q.count()
+
+
+class TestAggregatedCountryQuery:
+    @pytest.fixture(scope="class")
+    def result(self, tiny_store):
+        return aggregated_country_query(tiny_store)
+
+    def test_co_events_symmetric(self, result):
+        assert np.array_equal(result.co_events, result.co_events.T)
+
+    def test_co_events_diagonal_dominates(self, result):
+        e = np.diag(result.co_events)
+        assert (result.co_events <= np.minimum(e[:, None], e[None, :])).all()
+
+    def test_jaccard_range_and_symmetry(self, result):
+        j = result.jaccard()
+        assert (j >= 0).all() and (j <= 1).all()
+        assert np.allclose(j, j.T)
+        assert (np.diag(j) == 0).all()
+
+    def test_cross_counts_bounded_by_mentions(self, tiny_store, result):
+        assert result.cross_counts.sum() <= tiny_store.n_mentions
+
+    def test_publisher_articles_cover_all_attributed(self, tiny_store, result):
+        src_c = tiny_store.source_country_idx()
+        attributed = int(
+            (src_c[np.asarray(tiny_store.mentions["SourceId"])] >= 0).sum()
+        )
+        assert result.publisher_articles.sum() == attributed
+
+    def test_percentages_columns_le_100(self, result):
+        pct = result.percentages()
+        assert (pct.sum(axis=0) <= 100.0 + 1e-9).all()
+
+    def test_chunked_equals_single_chunk(self, tiny_store, result):
+        small = aggregated_country_query(
+            tiny_store, SerialExecutor(), chunk_rows=1000
+        )
+        assert np.array_equal(small.cross_counts, result.cross_counts)
+        assert np.array_equal(small.co_events, result.co_events)
+
+    def test_threaded_equals_serial(self, tiny_store, result):
+        with ThreadExecutor(4) as ex:
+            par = aggregated_country_query(tiny_store, ex, chunk_rows=1500)
+        assert np.array_equal(par.cross_counts, result.cross_counts)
+        assert np.array_equal(par.co_events, result.co_events)
+        assert np.array_equal(par.publisher_articles, result.publisher_articles)
+
+    def test_baseline_engine_identical(self, tiny_store, result):
+        """The row-at-a-time baseline must compute the same answer."""
+        base = row_at_a_time_country_query(tiny_store)
+        assert np.array_equal(base.cross_counts, result.cross_counts)
+        assert np.array_equal(base.co_events, result.co_events)
+        assert np.array_equal(base.publisher_articles, result.publisher_articles)
+
+    def test_baseline_limit_rows(self, tiny_store):
+        base = row_at_a_time_country_query(tiny_store, limit_rows=100)
+        assert base.cross_counts.sum() <= 100
+
+
+class TestTimeRange:
+    """Time-sliced queries exploit the capture-sorted mentions table."""
+
+    def test_equals_predicate_filter(self, tiny_store):
+        from repro.gdelt.time_util import quarter_index_range
+
+        lo, hi = quarter_index_range(5)
+        sliced = Query(tiny_store, "mentions").time_range(lo, hi).count()
+        scanned = (
+            Query(tiny_store, "mentions")
+            .filter((col("MentionInterval") >= lo) & (col("MentionInterval") < hi))
+            .count()
+        )
+        assert sliced == scanned > 0
+
+    def test_composes_with_filters(self, tiny_store):
+        from repro.gdelt.time_util import quarter_index_range
+
+        lo, hi = quarter_index_range(8)
+        q = Query(tiny_store, "mentions").time_range(lo, hi).filter(col("Delay") > 96)
+        d = np.asarray(tiny_store.mentions["Delay"])
+        mi = np.asarray(tiny_store.mentions["MentionInterval"])
+        want = int(((mi >= lo) & (mi < hi) & (d > 96)).sum())
+        assert q.count() == want
+
+    def test_sum_and_groupby_respect_range(self, tiny_store):
+        from repro.gdelt.time_util import quarter_index_range
+
+        lo, hi = quarter_index_range(3)
+        q = Query(tiny_store, "mentions").time_range(lo, hi)
+        mi = np.asarray(tiny_store.mentions["MentionInterval"])
+        sel = (mi >= lo) & (mi < hi)
+        assert q.sum("Delay") == np.asarray(tiny_store.mentions["Delay"])[sel].sum()
+        keys = np.asarray(tiny_store.mentions["SourceId"]).astype(np.int64)
+        got = q.groupby_count(keys, tiny_store.n_sources)
+        want = np.bincount(keys[sel], minlength=tiny_store.n_sources)
+        assert np.array_equal(got, want)
+
+    def test_groupby_stats_respect_range(self, tiny_store):
+        from repro.gdelt.time_util import quarter_index_range
+
+        lo, hi = quarter_index_range(3)
+        q = Query(tiny_store, "mentions").time_range(lo, hi)
+        keys = np.asarray(tiny_store.mentions["SourceId"]).astype(np.int64)
+        stats = q.groupby_stats(keys, "Delay", tiny_store.n_sources)
+        mi = np.asarray(tiny_store.mentions["MentionInterval"])
+        d = np.asarray(tiny_store.mentions["Delay"])
+        sel = (mi >= lo) & (mi < hi)
+        sid0 = int(keys[sel][0])
+        mine = d[sel & (keys == sid0)]
+        assert stats["min"][sid0] == mine.min()
+        assert stats["median"][sid0] == pytest.approx(np.median(mine))
+
+    def test_nested_ranges_intersect(self, tiny_store):
+        q1 = Query(tiny_store, "mentions").time_range(0, 50_000)
+        q2 = q1.time_range(40_000, 170_000)
+        mi = np.asarray(tiny_store.mentions["MentionInterval"])
+        want = int(((mi >= 40_000) & (mi < 50_000)).sum())
+        assert q2.count() == want
+
+    def test_empty_range(self, tiny_store):
+        q = Query(tiny_store, "mentions").time_range(10, 10)
+        assert q.count() == 0
+        assert np.isnan(q.mean("Delay"))
+
+    def test_events_table_rejected(self, tiny_store):
+        with pytest.raises(ValueError, match="mentions"):
+            Query(tiny_store, "events").time_range(0, 10)
+
+    def test_inverted_range_rejected(self, tiny_store):
+        with pytest.raises(ValueError, match="inverted"):
+            Query(tiny_store, "mentions").time_range(10, 5)
+
+    def test_threaded_equals_serial(self, tiny_store):
+        q = Query(tiny_store, "mentions").time_range(0, 80_000).filter(
+            col("Confidence") > 50
+        )
+        with ThreadExecutor(3) as ex:
+            assert q.with_executor(ex).count() == q.count()
+
+
+class TestExplain:
+    def test_full_table_plan(self, tiny_store):
+        plan = Query(tiny_store, "mentions").explain()
+        assert "scan mentions" in plan
+        assert "full table" in plan
+        assert "filter none" in plan
+        assert "SerialExecutor" in plan
+
+    def test_restricted_plan_mentions_range(self, tiny_store):
+        plan = (
+            Query(tiny_store, "mentions")
+            .time_range(0, 50_000)
+            .filter(col("Delay") > 96)
+            .explain()
+        )
+        assert "sorted-range restriction" in plan
+        assert "Delay" in plan
+
+    def test_executor_shown(self, tiny_store):
+        with ThreadExecutor(3) as ex:
+            plan = Query(tiny_store, "mentions").with_executor(ex).explain()
+        assert "ThreadExecutor x3" in plan

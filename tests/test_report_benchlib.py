@@ -1,0 +1,125 @@
+"""Table rendering and the shared experiment harness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import benchlib
+from repro.analysis.report import format_value, render_table
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        out = render_table(["a", "bb"], [[1, 2.5], [333, 4.0]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines)) == 1  # all same width
+
+    def test_title(self):
+        out = render_table(["x"], [[1]], title="Hello")
+        assert out.startswith("Hello\n")
+
+    def test_int_grouping(self):
+        assert "1,090,310,118" in render_table(["n"], [[1_090_310_118]])
+
+    def test_float_format(self):
+        assert "0.05" in render_table(["f"], [[0.054]], floatfmt=".2f")
+
+    def test_ragged_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_format_value_types(self):
+        assert format_value(True) == "True"
+        assert format_value(1234) == "1,234"
+        assert format_value("x") == "x"
+
+
+class TestBenchlib:
+    """Every table/figure function must run and produce sane output."""
+
+    def test_table1(self, tiny_store):
+        r = benchlib.table1_dataset_statistics(tiny_store)
+        assert "Table I" in r.text
+        assert r.data.n_events == tiny_store.n_events
+
+    def test_table3(self, tiny_store):
+        r = benchlib.table3_top_events(tiny_store)
+        assert len(r.data) == 10
+        assert "Mentions" in r.text
+
+    def test_table4(self, tiny_store):
+        r = benchlib.table4_follow_reporting(tiny_store)
+        ids, f = r.data
+        assert f.shape == (10, 10)
+        assert "Sum" in r.text
+
+    def test_table5(self, tiny_store):
+        r = benchlib.table5_country_coreporting(tiny_store)
+        assert "Jaccard" in r.text
+
+    def test_table6_and_7_consistent(self, tiny_store):
+        from repro.engine import aggregated_country_query
+
+        res = aggregated_country_query(tiny_store)
+        t6 = benchlib.table6_cross_counts(tiny_store, res)
+        t7 = benchlib.table7_cross_percentages(tiny_store, res)
+        reported6, pubs6, _ = t6.data
+        reported7, pubs7, _ = t7.data
+        assert np.array_equal(reported6, reported7)
+        assert np.array_equal(pubs6, pubs7)
+
+    def test_table8(self, tiny_store):
+        r = benchlib.table8_top_publisher_delays(tiny_store)
+        assert "Min" in r.text and "Median" in r.text
+
+    def test_fig2(self, tiny_store):
+        r = benchlib.fig2_popularity_histogram(tiny_store)
+        assert r.data["slope"] < -1
+
+    @pytest.mark.parametrize(
+        "fn",
+        [
+            benchlib.fig3_sources_per_quarter,
+            benchlib.fig4_events_per_quarter,
+            benchlib.fig5_articles_per_quarter,
+            benchlib.fig11_late_articles,
+        ],
+    )
+    def test_quarterly_figs(self, tiny_store, fn):
+        r = fn(tiny_store)
+        assert len(r.data) == 20
+        assert "2015Q1" in r.text
+
+    def test_fig6(self, tiny_store):
+        r = benchlib.fig6_top_publisher_series(tiny_store)
+        ids, series = r.data
+        assert series.shape == (10, 20)
+
+    def test_fig7(self, tiny_store):
+        r = benchlib.fig7_follow_matrix_top50(tiny_store, k=20)
+        _, f = r.data
+        assert f.shape == (20, 20)
+
+    def test_fig8(self, tiny_store):
+        r = benchlib.fig8_cross_matrix_top50(tiny_store, k=15)
+        reported, pubs, block = r.data
+        assert block.shape == (15, 15)
+
+    def test_fig9(self, tiny_store):
+        r = benchlib.fig9_delay_histograms(tiny_store)
+        _, hists, groups = r.data
+        assert set(hists) == {"min", "mean", "median", "max"}
+        assert set(groups) == {"fast", "average", "slow"}
+
+    def test_fig10(self, tiny_store):
+        r = benchlib.fig10_quarterly_delay(tiny_store)
+        assert len(r.data.mean) == 20
+
+    def test_print_all_tables(self, tiny_store, capsys):
+        benchlib.print_all_tables(tiny_store)
+        out = capsys.readouterr().out
+        for marker in ("Table I", "Table III", "Table IV", "Table V",
+                       "Table VI", "Table VII", "Table VIII"):
+            assert marker in out

@@ -1,0 +1,70 @@
+"""GDELT 2.0 schema definitions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gdelt.schema import (
+    EVENTS_CORE_FIELDS,
+    EVENTS_SCHEMA,
+    MENTIONS_CORE_FIELDS,
+    MENTIONS_SCHEMA,
+    FieldKind,
+    field_index,
+)
+
+
+class TestEventsSchema:
+    def test_width_is_61(self):
+        """GDELT 2.0 Events has exactly 61 columns."""
+        assert len(EVENTS_SCHEMA) == 61
+
+    def test_column_names_unique(self):
+        names = [f.name for f in EVENTS_SCHEMA]
+        assert len(names) == len(set(names))
+
+    def test_first_and_last_columns(self):
+        assert EVENTS_SCHEMA[0].name == "GlobalEventID"
+        assert EVENTS_SCHEMA[-1].name == "SOURCEURL"
+        assert EVENTS_SCHEMA[-2].name == "DATEADDED"
+
+    def test_actor_blocks_present(self):
+        names = {f.name for f in EVENTS_SCHEMA}
+        for prefix in ("Actor1", "Actor2"):
+            assert f"{prefix}Code" in names
+            assert f"{prefix}Type3Code" in names
+        for geo in ("Actor1Geo_", "Actor2Geo_", "ActionGeo_"):
+            assert f"{geo}CountryCode" in names
+            assert f"{geo}FeatureID" in names
+
+    def test_dateadded_is_timestamp(self):
+        f = EVENTS_SCHEMA[field_index(EVENTS_SCHEMA, "DATEADDED")]
+        assert f.kind is FieldKind.TIMESTAMP
+
+    def test_core_fields_exist_in_schema(self):
+        for name in EVENTS_CORE_FIELDS:
+            field_index(EVENTS_SCHEMA, name)  # must not raise
+
+
+class TestMentionsSchema:
+    def test_width_is_16(self):
+        """GDELT 2.0 Mentions has exactly 16 columns."""
+        assert len(MENTIONS_SCHEMA) == 16
+
+    def test_key_columns(self):
+        assert MENTIONS_SCHEMA[0].name == "GlobalEventID"
+        assert MENTIONS_SCHEMA[1].name == "EventTimeDate"
+        assert MENTIONS_SCHEMA[2].name == "MentionTimeDate"
+
+    def test_core_fields_exist(self):
+        for name in MENTIONS_CORE_FIELDS:
+            field_index(MENTIONS_SCHEMA, name)
+
+
+class TestFieldIndex:
+    def test_known(self):
+        assert field_index(MENTIONS_SCHEMA, "GlobalEventID") == 0
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            field_index(MENTIONS_SCHEMA, "NoSuchColumn")

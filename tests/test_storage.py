@@ -1,0 +1,214 @@
+"""Binary columnar format: writers, readers, dictionaries, indexes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage import (
+    DatasetReader,
+    DatasetWriter,
+    Manifest,
+    StorageError,
+    StringDictionary,
+    encode_strings,
+)
+from repro.storage.columns import DictionaryBuilder
+from repro.storage.format import FORMAT_VERSION, ColumnMeta
+from repro.storage.index import aligned_group_bounds, run_boundaries, sort_permutation
+
+
+def write_simple(tmp_path, rows=100):
+    rng = np.random.default_rng(0)
+    w = DatasetWriter(tmp_path / "db")
+    cols = {
+        "a": np.arange(rows, dtype=np.int64),
+        "b": rng.random(rows).astype(np.float32),
+        "c": rng.integers(0, 5, rows).astype(np.int16),
+    }
+    w.add_table("t", cols, dictionaries={"c": "names"})
+    w.add_dictionary("names", StringDictionary.from_strings(["v0", "v1", "v2", "v3", "v4"]))
+    w.add_index("perm", "t", "permutation", np.argsort(cols["b"]).astype(np.int32))
+    w.finish(meta={"origin": "test"})
+    return tmp_path / "db", cols
+
+
+class TestRoundTrip:
+    def test_columns_roundtrip(self, tmp_path):
+        root, cols = write_simple(tmp_path)
+        r = DatasetReader(root)
+        for name, want in cols.items():
+            assert np.array_equal(np.asarray(r.column("t", name)), want)
+
+    def test_mmap_and_memory_modes_agree(self, tmp_path):
+        root, cols = write_simple(tmp_path)
+        a = DatasetReader(root, mode="mmap").column("t", "a")
+        b = DatasetReader(root, mode="memory").column("t", "a")
+        assert np.array_equal(np.asarray(a), b)
+
+    def test_bad_mode_rejected(self, tmp_path):
+        root, _ = write_simple(tmp_path)
+        with pytest.raises(ValueError):
+            DatasetReader(root, mode="turbo")
+
+    def test_dictionary_roundtrip(self, tmp_path):
+        root, _ = write_simple(tmp_path)
+        d = DatasetReader(root).dictionary("names")
+        assert d.to_list() == ["v0", "v1", "v2", "v3", "v4"]
+
+    def test_index_roundtrip(self, tmp_path):
+        root, cols = write_simple(tmp_path)
+        perm = DatasetReader(root).index("perm")
+        assert np.array_equal(perm, np.argsort(cols["b"]))
+
+    def test_meta_preserved(self, tmp_path):
+        root, _ = write_simple(tmp_path)
+        assert DatasetReader(root).manifest.meta["origin"] == "test"
+
+
+class TestValidation:
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(StorageError, match="manifest"):
+            DatasetReader(tmp_path)
+
+    def test_truncated_column_detected(self, tmp_path):
+        root, _ = write_simple(tmp_path)
+        victim = root / "t" / "a.bin"
+        victim.write_bytes(victim.read_bytes()[:-8])
+        with pytest.raises(StorageError, match="bytes"):
+            DatasetReader(root)
+
+    def test_missing_column_file(self, tmp_path):
+        root, _ = write_simple(tmp_path)
+        (root / "t" / "b.bin").unlink()
+        with pytest.raises(StorageError, match="missing column"):
+            DatasetReader(root)
+
+    def test_version_mismatch(self, tmp_path):
+        root, _ = write_simple(tmp_path)
+        m = root / "manifest.json"
+        m.write_text(m.read_text().replace(f'"version": {FORMAT_VERSION}', '"version": 999'))
+        with pytest.raises(StorageError, match="version"):
+            DatasetReader(root)
+
+    def test_corrupt_manifest_json(self, tmp_path):
+        root, _ = write_simple(tmp_path)
+        (root / "manifest.json").write_text("{nope")
+        with pytest.raises(StorageError, match="JSON"):
+            DatasetReader(root)
+
+    def test_ragged_table_rejected(self, tmp_path):
+        w = DatasetWriter(tmp_path / "db2")
+        with pytest.raises(StorageError, match="ragged"):
+            w.add_table("t", {"a": np.zeros(3), "b": np.zeros(4)})
+
+    def test_2d_column_rejected(self, tmp_path):
+        w = DatasetWriter(tmp_path / "db3")
+        with pytest.raises(StorageError, match="1-D"):
+            w.add_table("t", {"a": np.zeros((2, 2))})
+
+    def test_writer_finish_once(self, tmp_path):
+        w = DatasetWriter(tmp_path / "db4")
+        w.add_table("t", {"a": np.zeros(1)})
+        w.finish()
+        with pytest.raises(StorageError):
+            w.add_table("u", {"a": np.zeros(1)})
+
+    def test_unsupported_dtype(self):
+        with pytest.raises(StorageError, match="dtype"):
+            ColumnMeta(name="x", dtype="complex128")
+
+    def test_unknown_index_kind(self, tmp_path):
+        w = DatasetWriter(tmp_path / "db5")
+        with pytest.raises(StorageError, match="index kind"):
+            w.add_index("x", "t", "btree", np.zeros(1))
+
+    def test_manifest_unknown_lookups(self, tmp_path):
+        root, _ = write_simple(tmp_path)
+        m = DatasetReader(root).manifest
+        with pytest.raises(StorageError):
+            m.table("missing")
+        with pytest.raises(StorageError):
+            m.dictionary("missing")
+        with pytest.raises(StorageError):
+            m.index("missing")
+
+
+class TestStringDictionary:
+    def test_empty_strings_ok(self):
+        d = StringDictionary.from_strings(["", "a", ""])
+        assert d.to_list() == ["", "a", ""]
+
+    def test_unicode(self):
+        d = StringDictionary.from_strings(["nachrichten-köln.de", "新闻.cn"])
+        assert d[0] == "nachrichten-köln.de"
+        assert d[1] == "新闻.cn"
+
+    def test_out_of_range(self):
+        d = StringDictionary.from_strings(["a"])
+        with pytest.raises(IndexError):
+            d[1]
+        with pytest.raises(IndexError):
+            d[-1]
+
+    def test_lengths(self):
+        d = StringDictionary.from_strings(["ab", "", "xyz"])
+        assert d.lengths().tolist() == [2, 0, 3]
+
+    def test_invalid_offsets(self):
+        with pytest.raises(ValueError):
+            StringDictionary(np.array([1, 2]), np.zeros(2, dtype=np.uint8))
+
+    def test_builder_first_occurrence_codes(self):
+        b = DictionaryBuilder()
+        codes = b.intern_many(["x", "y", "x", "z", "y"])
+        assert codes.tolist() == [0, 1, 0, 2, 1]
+        assert b.build().to_list() == ["x", "y", "z"]
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.text(max_size=30), max_size=40))
+    def test_encode_decode_property(self, strings):
+        codes, d = encode_strings(strings)
+        assert [d[int(c)] for c in codes] == strings
+
+    def test_manifest_size_check(self, tmp_path):
+        root, _ = write_simple(tmp_path)
+        # Corrupt the offsets file length.
+        p = root / "dict" / "names.offsets.bin"
+        p.write_bytes(p.read_bytes()[:-8])
+        with pytest.raises(StorageError, match="entries"):
+            DatasetReader(root).dictionary("names")
+
+
+class TestIndexHelpers:
+    def test_sort_permutation_stable(self):
+        keys = np.array([3, 1, 3, 1, 2])
+        perm = sort_permutation(keys)
+        assert keys[perm].tolist() == [1, 1, 2, 3, 3]
+        assert perm.tolist() == [1, 3, 4, 0, 2]  # stability
+
+    def test_run_boundaries(self):
+        b = run_boundaries(np.array([1, 1, 2, 5, 5, 5]))
+        assert b.tolist() == [0, 2, 3, 6]
+
+    def test_run_boundaries_empty(self):
+        assert run_boundaries(np.array([])).tolist() == [0]
+
+    def test_aligned_group_bounds(self):
+        sorted_keys = np.array([10, 10, 20, 40])
+        bounds = aligned_group_bounds(np.array([10, 20, 30, 40]), sorted_keys)
+        assert bounds.tolist() == [[0, 2], [2, 3], [3, 3], [3, 4]]
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=20), min_size=1, max_size=60))
+    def test_bounds_select_exactly_matching_rows(self, raw):
+        keys = np.array(raw)
+        perm = sort_permutation(keys)
+        sk = keys[perm]
+        groups = np.unique(keys)
+        bounds = aligned_group_bounds(groups, sk)
+        for g, (lo, hi) in zip(groups, bounds):
+            assert (sk[lo:hi] == g).all()
+            assert hi - lo == (keys == g).sum()

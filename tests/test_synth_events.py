@@ -1,0 +1,126 @@
+"""Event stream invariants: timing, geotags, popularity law, mega events."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gdelt.codes import COUNTRIES
+from repro.synth import tiny_config
+from repro.synth.events import generate_events, sample_popularity
+
+
+@pytest.fixture(scope="module")
+def events():
+    cfg = tiny_config()
+    return generate_events(cfg, np.random.default_rng(cfg.seed))
+
+
+class TestEventStream:
+    def test_count_includes_megas(self, events):
+        cfg = tiny_config()
+        assert events.n_events == cfg.n_events + len(cfg.mega_events)
+
+    def test_sorted_by_interval_with_ascending_ids(self, events):
+        assert (np.diff(events.interval) >= 0).all()
+        assert (np.diff(events.event_id) == 1).all()
+
+    def test_intervals_inside_window(self, events):
+        cfg = tiny_config()
+        assert events.interval.min() >= cfg.start_interval
+        # Last interval leaves room for the seed mention.
+        assert events.interval.max() < cfg.end_interval - 1
+
+    def test_geotag_fraction_between_bounds(self, events):
+        cfg = tiny_config()
+        frac = (events.country_idx >= 0).mean()
+        assert cfg.country.geotag_min - 0.05 < frac < cfg.country.geotag_max
+
+    def test_geotag_more_likely_for_popular_events(self, events):
+        """Local one-article news is mostly untagged; big stories are
+        tagged (the paper's geotagging caveat)."""
+        ordinary = events.mega_idx < 0
+        small = ordinary & (events.popularity <= 2)
+        big = ordinary & (events.popularity >= 15)
+        assert (events.country_idx[big] >= 0).mean() > (
+            events.country_idx[small] >= 0
+        ).mean()
+
+    def test_true_country_always_set(self, events):
+        assert (events.true_country >= 0).all()
+        tagged = events.country_idx >= 0
+        assert np.array_equal(
+            events.country_idx[tagged], events.true_country[tagged]
+        )
+
+    def test_us_is_most_common_location(self, events):
+        tagged = events.country_idx[events.country_idx >= 0]
+        us = next(i for i, c in enumerate(COUNTRIES) if c.fips == "US")
+        counts = np.bincount(tagged, minlength=len(COUNTRIES))
+        assert counts.argmax() == us
+
+    def test_root_codes_are_cameo(self, events):
+        assert events.root_code.min() >= 1
+        assert events.root_code.max() <= 20
+
+
+class TestPopularity:
+    def test_mean_near_paper(self):
+        """Weighted average articles/event must be near the paper's 3.36."""
+        cfg = tiny_config()
+        pop = sample_popularity(cfg, 200_000, np.random.default_rng(0))
+        assert 2.2 < pop.mean() < 4.5
+
+    def test_minimum_one(self):
+        cfg = tiny_config()
+        pop = sample_popularity(cfg, 10_000, np.random.default_rng(0))
+        assert pop.min() >= 1
+
+    def test_power_law_tail(self):
+        """P(n) should decay roughly as a power law over a decade of n."""
+        cfg = tiny_config()
+        pop = sample_popularity(cfg, 500_000, np.random.default_rng(0))
+        counts = np.bincount(pop)
+        # Compare decay from n=1 to n=10 against alpha in a loose band.
+        ratio = counts[1] / max(counts[10], 1)
+        alpha_hat = np.log10(ratio)  # n spans one decade
+        assert 1.6 < alpha_hat < 3.2
+
+    def test_bump_adds_midrange_mass(self):
+        """The Fig 2 mid-curve deviation: with the bump, counts around
+        bump_center exceed the pure power law's."""
+        from dataclasses import replace
+
+        cfg = tiny_config()
+        rng1 = np.random.default_rng(0)
+        rng2 = np.random.default_rng(0)
+        with_bump = sample_popularity(cfg, 400_000, rng1)
+        without = sample_popularity(replace(cfg, bump_weight=0.0), 400_000, rng2)
+        c = int(cfg.bump_center)
+        lo, hi = int(c * 0.7), int(c * 1.4)
+        n_with = ((with_bump >= lo) & (with_bump <= hi)).sum()
+        n_without = ((without >= lo) & (without <= hi)).sum()
+        assert n_with > 1.5 * n_without
+
+
+class TestMegaEvents:
+    def test_megas_present_with_zero_popularity(self, events):
+        cfg = tiny_config()
+        rows = np.flatnonzero(events.mega_idx >= 0)
+        assert len(rows) == len(cfg.mega_events)
+        assert (events.popularity[rows] == 0).all()
+
+    def test_mega_dates_match_config(self, events):
+        from repro.gdelt.time_util import interval_to_datetime
+
+        cfg = tiny_config()
+        for row in np.flatnonzero(events.mega_idx >= 0):
+            mega = cfg.mega_events[int(events.mega_idx[row])]
+            when = interval_to_datetime(int(events.interval[row]))
+            assert when.date() == mega.day
+
+    def test_mega_countries(self, events):
+        cfg = tiny_config()
+        for row in np.flatnonzero(events.mega_idx >= 0):
+            mega = cfg.mega_events[int(events.mega_idx[row])]
+            assert COUNTRIES[int(events.country_idx[row])].fips == mega.country

@@ -1,0 +1,110 @@
+"""Dataset assembly and raw-archive export."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gdelt.csv_io import open_chunk_text
+from repro.gdelt.masterlist import parse_master_list
+from repro.synth import generate_dataset, tiny_config
+from repro.synth.generator import article_url
+
+
+class TestDatasetAssembly:
+    def test_first_interval_is_min_mention(self, tiny_ds):
+        mt = tiny_ds.mentions
+        want = np.full(tiny_ds.n_events, np.iinfo(np.int64).max)
+        np.minimum.at(want, mt.event_row, mt.interval)
+        assert np.array_equal(tiny_ds.first_interval, want)
+
+    def test_seed_mention_is_earliest(self, tiny_ds):
+        mt = tiny_ds.mentions
+        sm = tiny_ds.seed_mention
+        assert (sm >= 0).all()
+        assert np.array_equal(
+            mt.interval[sm], tiny_ds.first_interval
+        )
+        assert np.array_equal(mt.event_row[sm], np.arange(tiny_ds.n_events))
+
+    def test_num_articles_matches_bincount(self, tiny_ds):
+        want = np.bincount(tiny_ds.mentions.event_row, minlength=tiny_ds.n_events)
+        assert np.array_equal(tiny_ds.num_articles, want)
+
+    def test_num_sources_counts_distinct(self, tiny_ds):
+        mt = tiny_ds.mentions
+        row = 0
+        srcs = np.unique(mt.source_idx[mt.event_row == row])
+        assert tiny_ds.num_sources[row] == len(srcs)
+
+    def test_num_sources_le_num_articles(self, tiny_ds):
+        assert (tiny_ds.num_sources <= tiny_ds.num_articles).all()
+
+    def test_determinism(self):
+        a = generate_dataset(tiny_config(seed=42))
+        b = generate_dataset(tiny_config(seed=42))
+        assert np.array_equal(a.mentions.interval, b.mentions.interval)
+        assert np.array_equal(a.mentions.source_idx, b.mentions.source_idx)
+        assert a.catalog.domains == b.catalog.domains
+
+    def test_different_seeds_differ(self):
+        a = generate_dataset(tiny_config(seed=1))
+        b = generate_dataset(tiny_config(seed=2))
+        assert not np.array_equal(a.mentions.source_idx[:100], b.mentions.source_idx[:100])
+
+    def test_event_seed_url_well_formed(self, tiny_ds):
+        url = tiny_ds.event_seed_url(0)
+        assert url.startswith("https://")
+        assert str(int(tiny_ds.events.event_id[0])) in url
+
+
+class TestArticleUrl:
+    def test_first_article(self):
+        assert article_url("x.co.uk", 410, 0) == "https://x.co.uk/news/410"
+
+    def test_repeat_article_distinct(self):
+        assert article_url("x.co.uk", 410, 1) == "https://x.co.uk/news/410-1"
+        assert article_url("x.co.uk", 410, 0) != article_url("x.co.uk", 410, 1)
+
+
+class TestRawExport:
+    def test_master_list_parses_clean(self, raw_dir):
+        parsed = parse_master_list(
+            (raw_dir / "masterfilelist.txt").read_text(encoding="utf-8")
+        )
+        assert parsed.chunks
+        assert not parsed.malformed_lines
+
+    def test_all_referenced_archives_exist(self, raw_dir):
+        parsed = parse_master_list(
+            (raw_dir / "masterfilelist.txt").read_text(encoding="utf-8")
+        )
+        for c in parsed.chunks:
+            assert (raw_dir / c.entry.url.rsplit("/", 1)[-1]).exists()
+
+    def test_row_counts_roundtrip(self, raw_ds, raw_dir):
+        """Total rows across chunks must equal the generated tables."""
+        parsed = parse_master_list(
+            (raw_dir / "masterfilelist.txt").read_text(encoding="utf-8")
+        )
+        n_events = n_mentions = 0
+        for c in parsed.chunks:
+            path = raw_dir / c.entry.url.rsplit("/", 1)[-1]
+            with open_chunk_text(path) as fh:
+                rows = sum(1 for line in fh if line.strip())
+            if c.kind == "export":
+                n_events += rows
+            else:
+                n_mentions += rows
+        assert n_events == raw_ds.n_events
+        assert n_mentions == raw_ds.n_articles
+
+    def test_md5s_match_files(self, raw_dir):
+        import hashlib
+
+        parsed = parse_master_list(
+            (raw_dir / "masterfilelist.txt").read_text(encoding="utf-8")
+        )
+        c = parsed.chunks[0]
+        path = raw_dir / c.entry.url.rsplit("/", 1)[-1]
+        assert hashlib.md5(path.read_bytes()).hexdigest() == c.entry.md5
+        assert path.stat().st_size == c.entry.size

@@ -1,0 +1,171 @@
+"""Mention stream invariants: delays, windows, syndication, mega coverage."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gdelt.time_util import intervals_to_quarters
+from repro.synth.config import DELAY_CAP
+from repro.synth.delays import sample_delays
+from repro.synth.mentions import build_attention_matrix
+from repro.gdelt.codes import COUNTRIES
+from repro.synth import tiny_config
+
+
+class TestDelaySampling:
+    def test_bounds(self, rng):
+        cfg = tiny_config().delay
+        cycle = np.full(50_000, 96, dtype=np.int64)
+        q = np.zeros(50_000, dtype=np.int64)
+        d = sample_delays(cfg, cycle, q, rng)
+        assert d.min() >= 1
+        assert d.max() <= DELAY_CAP
+
+    def test_body_respects_cycle_except_outliers(self, rng):
+        cfg = tiny_config().delay
+        cycle = np.full(100_000, 96, dtype=np.int64)
+        d = sample_delays(cfg, cycle, np.zeros(100_000, dtype=np.int64), rng)
+        beyond = d > 96
+        # Only the ~4e-4 outliers may exceed the cycle, and they hit the cap.
+        assert beyond.mean() < 5e-3
+        assert (d[beyond] == DELAY_CAP).all()
+
+    def test_median_near_body_median_for_daily_cycle(self, rng):
+        cfg = tiny_config().delay
+        cycle = np.full(100_000, 96, dtype=np.int64)
+        d = sample_delays(cfg, cycle, np.zeros(100_000, dtype=np.int64), rng)
+        assert 10 <= np.median(d) <= 24
+
+    def test_slow_cycles_have_scaled_typical_delay(self, rng):
+        """Monthlies report days-to-weeks late on average, not 4 hours —
+        the paper's 'slow group' of sources."""
+        cfg = tiny_config().delay
+        n = 100_000
+        monthly = sample_delays(
+            cfg, np.full(n, 2880, dtype=np.int64), np.zeros(n, dtype=np.int64), rng
+        )
+        med = np.median(monthly)
+        # body median scales as cycle/96: 16 * 30 = 480 intervals (5 days).
+        assert 250 <= med <= 900
+
+    def test_tail_decays_with_quarter(self, rng):
+        """Late quarters must have fewer near-cycle-bound articles (Fig 11)."""
+        cfg = tiny_config().delay
+        n = 200_000
+        cycle = np.full(n, 2880, dtype=np.int64)
+        early = sample_delays(cfg, cycle, np.zeros(n, dtype=np.int64), rng)
+        late = sample_delays(cfg, cycle, np.full(n, 19, dtype=np.int64), rng)
+        tail_early = (early > 2000).mean()
+        tail_late = (late > 2000).mean()
+        assert tail_late < tail_early
+
+    def test_fast_cycle_max(self, rng):
+        cfg = tiny_config().delay
+        cycle = np.full(10_000, 8, dtype=np.int64)
+        d = sample_delays(cfg, cycle, np.zeros(10_000, dtype=np.int64), rng)
+        non_outlier = d[d < DELAY_CAP]
+        assert non_outlier.max() <= 8
+
+
+class TestAttentionMatrix:
+    def test_shape_and_positivity(self):
+        A = build_attention_matrix(tiny_config())
+        n = len(COUNTRIES)
+        assert A.shape == (n, n)
+        assert (A > 0).all()
+
+    def test_home_bias_dominates(self):
+        cfg = tiny_config()
+        A = build_attention_matrix(cfg)
+        pos = {c.fips: i for i, c in enumerate(COUNTRIES)}
+        for fips in ("UK", "IN", "JA", "BR"):
+            i = pos[fips]
+            row = A[i].copy()
+            row[i] = 0
+            assert A[i, i] >= row.max()
+
+    def test_us_pull_universal(self):
+        cfg = tiny_config()
+        A = build_attention_matrix(cfg)
+        pos = {c.fips: i for i, c in enumerate(COUNTRIES)}
+        us = pos["US"]
+        ja = pos["JA"]
+        assert A[ja, us] > A[ja, pos["BR"]]
+
+    def test_anglo_cluster_above_baseline(self):
+        cfg = tiny_config()
+        A = build_attention_matrix(cfg)
+        pos = {c.fips: i for i, c in enumerate(COUNTRIES)}
+        assert A[pos["UK"], pos["AS"]] > A[pos["UK"], pos["FR"]]
+        # Canada deliberately NOT in the cluster (Table V).
+        assert A[pos["UK"], pos["CA"]] < A[pos["UK"], pos["AS"]]
+
+
+class TestMentionStream:
+    def test_all_inside_window(self, tiny_ds):
+        cfg = tiny_ds.cfg
+        mt = tiny_ds.mentions
+        assert mt.interval.min() >= cfg.start_interval
+        assert mt.interval.max() < cfg.end_interval
+
+    def test_delay_consistency(self, tiny_ds):
+        mt, ev = tiny_ds.mentions, tiny_ds.events
+        assert np.array_equal(
+            mt.interval, ev.interval[mt.event_row] + mt.delay
+        )
+
+    def test_delays_at_least_one(self, tiny_ds):
+        assert tiny_ds.mentions.delay.min() >= 1
+
+    def test_sorted_by_capture_interval(self, tiny_ds):
+        assert (np.diff(tiny_ds.mentions.interval) >= 0).all()
+
+    def test_every_event_has_a_mention(self, tiny_ds):
+        covered = np.unique(tiny_ds.mentions.event_row)
+        assert len(covered) == tiny_ds.events.n_events
+
+    def test_repeat_cap_enforced(self, tiny_ds):
+        assert tiny_ds.mentions.repeat_k.max() < tiny_ds.cfg.max_repeats
+
+    def test_repeat_numbers_dense_per_pair(self, tiny_ds):
+        """repeat_k must be 0..count-1 per (event, source) pair."""
+        mt = tiny_ds.mentions
+        key = mt.event_row * np.int64(tiny_ds.catalog.n_sources) + mt.source_idx
+        order = np.lexsort((mt.repeat_k, key))
+        k_sorted = key[order]
+        r_sorted = mt.repeat_k[order]
+        new = np.concatenate([[True], k_sorted[1:] != k_sorted[:-1]])
+        assert (r_sorted[new] == 0).all()
+        same = ~new
+        assert (r_sorted[same] == r_sorted[np.flatnonzero(same) - 1] + 1).all()
+
+    def test_sources_respect_activity_mostly(self, tiny_ds):
+        """Base sampling honours quarterly activity; syndication/mega keep
+        members always active, so overall violations must be rare."""
+        mt, cat, ev = tiny_ds.mentions, tiny_ds.catalog, tiny_ds.events
+        q = np.clip(
+            intervals_to_quarters(ev.interval[mt.event_row]), 0, cat.n_quarters - 1
+        )
+        active = cat.activity[mt.source_idx, q]
+        assert active.mean() > 0.95
+
+    def test_mega_events_have_wide_coverage(self, tiny_ds):
+        """Top events must reach a large share of then-active sources."""
+        ev, mt, cat = tiny_ds.events, tiny_ds.mentions, tiny_ds.catalog
+        per_event_sources = tiny_ds.num_sources
+        mega_rows = np.flatnonzero(ev.mega_idx >= 0)
+        n_active = cat.activity.sum(axis=0).mean()
+        top = per_event_sources[mega_rows].max()
+        assert top > 0.5 * n_active
+
+    def test_syndication_creates_member_overlap(self, tiny_ds):
+        """Most events covered by one group member are covered by others."""
+        mt, cat = tiny_ds.mentions, tiny_ds.catalog
+        members = np.flatnonzero(cat.group_id == 0)
+        is_member = np.isin(mt.source_idx, members)
+        ev_of_member = mt.event_row[is_member]
+        counts = {}
+        for e in ev_of_member.tolist():
+            counts[e] = counts.get(e, 0) + 1
+        multi = sum(1 for v in counts.values() if v > 1)
+        assert multi / len(counts) > 0.3

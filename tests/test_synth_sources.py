@@ -1,0 +1,93 @@
+"""Source catalog invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gdelt.codes import COUNTRIES, source_country
+from repro.synth import tiny_config
+from repro.synth.sources import build_source_catalog
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    cfg = tiny_config()
+    return build_source_catalog(cfg, np.random.default_rng(cfg.seed))
+
+
+class TestCatalog:
+    def test_sizes(self, catalog):
+        n = catalog.n_sources
+        assert len(catalog.domains) == n
+        assert len(catalog.country_idx) == n
+        assert len(catalog.productivity) == n
+        assert len(catalog.cycle) == n
+        assert len(catalog.group_id) == n
+        assert catalog.activity.shape[0] == n
+
+    def test_domains_unique(self, catalog):
+        assert len(set(catalog.domains)) == len(catalog.domains)
+
+    def test_country_indices_valid(self, catalog):
+        assert catalog.country_idx.min() >= 0
+        assert catalog.country_idx.max() < len(COUNTRIES)
+
+    def test_productivity_positive(self, catalog):
+        assert (catalog.productivity > 0).all()
+
+    def test_cycles_from_config(self, catalog):
+        cfg = tiny_config()
+        assert set(np.unique(catalog.cycle)) <= set(cfg.delay.cycles)
+
+
+class TestMediaGroup:
+    def test_member_count(self, catalog):
+        cfg = tiny_config()
+        assert (catalog.group_id == 0).sum() == cfg.media_group.n_members
+
+    def test_members_are_uk(self, catalog):
+        uk = next(i for i, c in enumerate(COUNTRIES) if c.fips == "UK")
+        members = np.flatnonzero(catalog.group_id == 0)
+        assert (catalog.country_idx[members] == uk).all()
+
+    def test_members_have_uk_domains(self, catalog):
+        """Members must attribute to the UK under the TLD rule — they are
+        the paper's regional British newspapers."""
+        for s in np.flatnonzero(catalog.group_id == 0):
+            assert source_country(catalog.domains[s]) == "UK"
+
+    def test_members_always_active(self, catalog):
+        members = np.flatnonzero(catalog.group_id == 0)
+        assert catalog.activity[members].all()
+
+    def test_members_on_daily_cycle(self, catalog):
+        members = np.flatnonzero(catalog.group_id == 0)
+        assert (catalog.cycle[members] == 96).all()
+
+
+class TestActivity:
+    def test_duty_cycle_near_one_third(self, catalog):
+        """The paper's Fig 3: ~1/3 of sources are active per quarter."""
+        duty = catalog.activity.mean()
+        assert 0.25 < duty < 0.45
+
+    def test_every_quarter_has_active_sources(self, catalog):
+        assert (catalog.activity.sum(axis=0) > 0).all()
+
+    def test_activity_is_persistent(self, catalog):
+        """Consecutive quarters must correlate (periodicals, not noise)."""
+        a = catalog.activity.astype(float)
+        same = (a[:, 1:] == a[:, :-1]).mean()
+        # Persistence rho=0.55 implies ~P(stay) well above independence.
+        assert same > 0.6
+
+
+class TestDeterminism:
+    def test_same_seed_same_catalog(self):
+        cfg = tiny_config()
+        a = build_source_catalog(cfg, np.random.default_rng(cfg.seed))
+        b = build_source_catalog(cfg, np.random.default_rng(cfg.seed))
+        assert a.domains == b.domains
+        assert np.array_equal(a.productivity, b.productivity)
+        assert np.array_equal(a.activity, b.activity)

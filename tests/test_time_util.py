@@ -1,0 +1,138 @@
+"""Capture-interval arithmetic: the time currency of the whole system."""
+
+from __future__ import annotations
+
+import datetime as dt
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gdelt import time_util as tu
+
+
+class TestScalarConversions:
+    def test_epoch_is_interval_zero(self):
+        assert tu.datetime_to_interval(tu.GDELT_V2_EPOCH) == 0
+
+    def test_interval_zero_timestamp(self):
+        assert tu.interval_to_timestamp(0) == 20150218000000
+
+    def test_fifteen_minutes_per_interval(self):
+        assert tu.datetime_to_interval(dt.datetime(2015, 2, 18, 0, 14, 59)) == 0
+        assert tu.datetime_to_interval(dt.datetime(2015, 2, 18, 0, 15, 0)) == 1
+
+    def test_one_day_is_96_intervals(self):
+        assert tu.datetime_to_interval(dt.datetime(2015, 2, 19)) == tu.INTERVALS_PER_DAY
+        assert tu.INTERVALS_PER_DAY == 96
+
+    def test_timestamp_roundtrip(self):
+        ts = 20171031214500
+        assert tu.datetime_to_timestamp(tu.timestamp_to_datetime(ts)) == ts
+
+    def test_timestamp_to_datetime_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            tu.timestamp_to_datetime(20150232000000)  # Feb 32
+
+    def test_pre_epoch_is_negative(self):
+        assert tu.datetime_to_interval(dt.datetime(2015, 2, 17, 23, 59)) == -1
+
+    def test_end_of_window(self):
+        # 2015-02-18 .. 2020-01-01 spans 1778 days.
+        end = tu.datetime_to_interval(dt.datetime(2020, 1, 1))
+        assert end == 1778 * 96
+
+
+class TestVectorized:
+    def test_matches_scalar_on_known_dates(self):
+        stamps = [
+            20150218000000,
+            20150218001500,
+            20161231235959,
+            20190704120000,
+            20200101000000,
+        ]
+        got = tu.timestamps_to_intervals(np.array(stamps, dtype=np.int64))
+        want = [tu.timestamp_to_interval(t) for t in stamps]
+        assert got.tolist() == want
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        st.datetimes(
+            min_value=dt.datetime(2015, 2, 18),
+            max_value=dt.datetime(2020, 12, 31, 23, 59, 59),
+        )
+    )
+    def test_vectorized_equals_scalar(self, when):
+        ts = tu.datetime_to_timestamp(when)
+        vec = tu.timestamps_to_intervals(np.array([ts], dtype=np.int64))[0]
+        assert int(vec) == tu.timestamp_to_interval(ts)
+
+    def test_intervals_to_timestamps_roundtrip(self):
+        idx = np.array([0, 1, 96, 12345, 170_000], dtype=np.int64)
+        ts = tu.intervals_to_timestamps(idx)
+        back = tu.timestamps_to_intervals(ts)
+        assert np.array_equal(back, idx)
+
+    def test_empty_arrays(self):
+        assert len(tu.timestamps_to_intervals(np.array([], dtype=np.int64))) == 0
+
+
+class TestQuarters:
+    def test_epoch_quarter_zero(self):
+        assert tu.interval_to_quarter(0) == 0
+
+    def test_q2_2015(self):
+        iv = tu.datetime_to_interval(dt.datetime(2015, 4, 1))
+        assert tu.interval_to_quarter(iv) == 1
+
+    def test_last_quarter_of_window(self):
+        iv = tu.datetime_to_interval(dt.datetime(2019, 12, 31, 23, 45))
+        assert tu.interval_to_quarter(iv) == 19
+
+    def test_vectorized_matches_scalar(self):
+        idx = np.array([0, 95, 96, 10_000, 100_000, 170_591], dtype=np.int64)
+        got = tu.intervals_to_quarters(idx)
+        want = [tu.interval_to_quarter(int(i)) for i in idx]
+        assert got.tolist() == want
+
+    def test_quarter_labels(self):
+        assert tu.quarter_label(0) == "2015Q1"
+        assert tu.quarter_label(3) == "2015Q4"
+        assert tu.quarter_label(19) == "2019Q4"
+
+    def test_first_quarter_clipped_at_epoch(self):
+        start, end = tu.quarter_range(0)
+        assert start == tu.GDELT_V2_EPOCH
+        assert end == dt.datetime(2015, 4, 1)
+
+    def test_quarter_index_range_partition(self):
+        """Quarter interval ranges tile the window without gaps."""
+        prev_end = None
+        for q in range(20):
+            lo, hi = tu.quarter_index_range(q)
+            assert lo < hi
+            if prev_end is not None:
+                assert lo == prev_end
+            prev_end = hi
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(min_value=0, max_value=170_000))
+    def test_quarter_consistent_with_range(self, iv):
+        q = tu.interval_to_quarter(iv)
+        lo, hi = tu.quarter_index_range(q)
+        assert lo <= iv < hi
+
+
+class TestCaptureInterval:
+    def test_properties(self):
+        ci = tu.CaptureInterval(96)
+        assert ci.start == dt.datetime(2015, 2, 19)
+        assert ci.end == dt.datetime(2015, 2, 19, 0, 15)
+        assert ci.timestamp == 20150219000000
+        assert ci.quarter == 0
+        assert int(ci) == 96
+
+    def test_ordering(self):
+        assert tu.CaptureInterval(1) < tu.CaptureInterval(2)

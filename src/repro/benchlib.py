@@ -11,19 +11,25 @@ volume order, exactly as the paper prints them.
 from __future__ import annotations
 
 import string
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro import analysis as an
 from repro.engine import GdeltStore
-from repro.engine.executor import Executor
+from repro.engine.costmodel import calibrate_from_measurement
+from repro.engine.executor import Executor, SerialExecutor, ThreadExecutor
 from repro.engine.query import CountryQueryResult, aggregated_country_query
 from repro.gdelt.codes import COUNTRIES
 from repro.gdelt.time_util import quarter_label
+from repro.obs.profile import QueryProfile
+from repro.obs.trace import span as _span
 
 __all__ = [
     "TableResult",
+    "ScalingPoint",
+    "fig12_scaling",
     "table1_dataset_statistics",
     "table3_top_events",
     "table4_follow_reporting",
@@ -187,6 +193,78 @@ def table8_top_publisher_delays(store: GdeltStore, k: int = 10) -> TableResult:
         floatfmt=".1f",
     )
     return TableResult("table8", (ids, stats), text)
+
+
+# --- scaling (Fig 12) ---------------------------------------------------------
+
+
+@dataclass(slots=True)
+class ScalingPoint:
+    """One thread count of the Fig 12 measurement.
+
+    ``profile`` carries the per-chunk execution profile of the measured
+    run (worker utilization, imbalance, scan bandwidth), so a scaling
+    table can explain *why* a point falls off the ideal line, not just
+    that it does.
+    """
+
+    threads: int
+    seconds: float
+    speedup: float
+    kind: str  # "measured" | "model"
+    profile: QueryProfile | None = None
+
+
+def fig12_scaling(
+    store: GdeltStore,
+    thread_counts: tuple[int, ...] = (1, 2, 4),
+    chunk_rows: int | None = None,
+    model_counts: tuple[int, ...] = (),
+) -> TableResult:
+    """Measure the aggregated country query at several thread counts.
+
+    Each point runs with profile collection on, so the returned
+    :class:`ScalingPoint` list pairs every timing with its execution
+    profile.  ``model_counts`` extends the curve with the analytic NUMA
+    cost model calibrated from the single-thread measurement.
+    """
+    points: list[ScalingPoint] = []
+    t1: float | None = None
+    with _span("bench.fig12_scaling", threads=list(thread_counts)):
+        for n in thread_counts:
+            ex: Executor = SerialExecutor() if n == 1 else ThreadExecutor(n)
+            t0 = time.perf_counter()
+            result = aggregated_country_query(store, ex, chunk_rows, profile=True)
+            dt = time.perf_counter() - t0
+            ex.close()
+            if n == 1:
+                t1 = dt
+            points.append(
+                ScalingPoint(
+                    threads=n,
+                    seconds=dt,
+                    speedup=(t1 / dt) if t1 else float("nan"),
+                    kind="measured",
+                    profile=result.profile,
+                )
+            )
+    if model_counts and t1 is not None:
+        model = calibrate_from_measurement(t1)
+        for n in model_counts:
+            pred = model.predict(n)
+            points.append(ScalingPoint(n, pred, t1 / pred, "model"))
+
+    rows = []
+    for p in points:
+        util = f"{p.profile.utilization():.2f}" if p.profile else "-"
+        imb = f"{p.profile.imbalance():.2f}" if p.profile else "-"
+        rows.append((p.threads, p.seconds, p.speedup, p.kind, util, imb))
+    text = an.render_table(
+        ["threads", "seconds", "speedup", "kind", "util", "imbalance"],
+        rows,
+        title="Aggregated country query scaling (Fig 12)",
+    )
+    return TableResult("fig12", points, text)
 
 
 # --- figures (as data series + text sparklines) ----------------------------------

@@ -8,11 +8,21 @@ The future-work Python interface the paper promises, as a CLI::
     repro-gdelt stats db/                                # Table I
     repro-gdelt tables db/                               # all paper tables
     repro-gdelt scaling db/ --threads 1 2 4              # Fig 12 measurement
+    repro-gdelt profile db/ --threads 4                  # traced query profile
+
+Progress reporting goes through stdlib ``logging`` to stderr (``-v``
+for debug detail, ``-q`` for warnings only); stdout carries only the
+actual outputs — tables, listings, and JSON dumps.  ``--metrics-out``
+(on ``synth``/``convert``/``scaling``/``profile``) enables observability
+and writes the metrics registry to a file: Prometheus text exposition,
+or JSON when the path ends in ``.json``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import logging
 import sys
 import time
 from pathlib import Path
@@ -21,13 +31,33 @@ import numpy as np
 
 __all__ = ["main", "build_parser"]
 
+# Explicit name: under ``python -m repro.cli`` __name__ is "__main__",
+# which would fall outside the "repro" logger tree setup_logging configures.
+logger = logging.getLogger("repro.cli")
+
 
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro-gdelt",
         description="High-performance mining on (synthetic) GDELT 2.0 data.",
     )
+    p.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="more progress detail (repeatable)",
+    )
+    p.add_argument(
+        "-q", "--quiet", action="store_true", help="only warnings and errors"
+    )
     sub = p.add_subparsers(dest="command", required=True)
+
+    def add_metrics_out(sp: argparse.ArgumentParser) -> None:
+        sp.add_argument(
+            "--metrics-out",
+            type=Path,
+            default=None,
+            help="enable observability and write the metrics registry here "
+            "(.json for a JSON dump, anything else for Prometheus text)",
+        )
 
     s = sub.add_parser("synth", help="generate a synthetic GDELT dataset")
     s.add_argument("--preset", choices=["tiny", "small", "calibrated"], default="small")
@@ -45,6 +75,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="plant the paper's Table II defects into the raw archives",
     )
+    add_metrics_out(s)
 
     c = sub.add_parser("convert", help="raw archives -> indexed binary dataset")
     c.add_argument("raw_dir", type=Path)
@@ -55,6 +86,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="write bulky columns with the compression codecs",
     )
+    add_metrics_out(c)
 
     st = sub.add_parser("stats", help="print Table I dataset statistics")
     st.add_argument("dataset", type=Path)
@@ -69,6 +101,27 @@ def build_parser() -> argparse.ArgumentParser:
     sc.add_argument(
         "--model", action="store_true", help="extend with the NUMA cost model to 64"
     )
+    add_metrics_out(sc)
+
+    pr = sub.add_parser(
+        "profile",
+        help="run the aggregated country query fully traced; emit a JSON profile",
+    )
+    pr.add_argument("dataset", type=Path)
+    pr.add_argument("--threads", type=int, default=2)
+    pr.add_argument("--chunk-rows", type=int, default=None)
+    pr.add_argument(
+        "--trace-out",
+        type=Path,
+        default=None,
+        help="write the JSON trace document here (default: stdout)",
+    )
+    pr.add_argument(
+        "--chrome",
+        action="store_true",
+        help="emit only the chrome://tracing event list instead of the full doc",
+    )
+    add_metrics_out(pr)
 
     w = sub.add_parser(
         "wildfires", help="detect fast-spreading events (digital wildfires)"
@@ -108,26 +161,28 @@ def _cmd_synth(args) -> int:
     cfg = _load_config(args.preset, args.seed)
     t0 = time.perf_counter()
     ds = generate_dataset(cfg)
-    print(
-        f"generated {ds.n_events:,} events / {ds.n_articles:,} articles "
-        f"in {time.perf_counter() - t0:.1f}s"
+    logger.info(
+        "generated %s events / %s articles in %.1fs",
+        f"{ds.n_events:,}", f"{ds.n_articles:,}", time.perf_counter() - t0,
     )
     if args.raw_dir:
         master = write_raw_archives(
             ds, args.raw_dir, chunk_intervals=96 * max(1, args.chunk_days)
         )
-        print(f"raw archives: {master.parent}")
+        logger.info("raw archives: %s", master.parent)
         if args.corrupt:
             receipt = inject_corruption(args.raw_dir, CorruptionPlan())
-            print(
-                f"planted defects: {len(receipt.malformed_lines)} master, "
-                f"{len(receipt.deleted_archives)} missing archives, "
-                f"{len(receipt.blanked_event_ids)} blank URLs, "
-                f"{len(receipt.future_dated_event_ids)} future-dated"
+            logger.info(
+                "planted defects: %d master, %d missing archives, "
+                "%d blank URLs, %d future-dated",
+                len(receipt.malformed_lines),
+                len(receipt.deleted_archives),
+                len(receipt.blanked_event_ids),
+                len(receipt.future_dated_event_ids),
             )
     if args.binary_dir:
         dataset_to_binary(ds, args.binary_dir)
-        print(f"binary dataset: {args.binary_dir}")
+        logger.info("binary dataset: %s", args.binary_dir)
     return 0
 
 
@@ -142,9 +197,10 @@ def _cmd_convert(args) -> int:
         verify_checksums=args.verify_checksums,
         compress=args.compress,
     )
-    print(
-        f"converted {result.n_events:,} events / {result.n_mentions:,} mentions "
-        f"in {time.perf_counter() - t0:.1f}s -> {result.dataset_dir}"
+    logger.info(
+        "converted %s events / %s mentions in %.1fs -> %s",
+        f"{result.n_events:,}", f"{result.n_mentions:,}",
+        time.perf_counter() - t0, result.dataset_dir,
     )
     print(
         render_table(
@@ -168,6 +224,7 @@ def _cmd_stats(args) -> int:
 
 def _cmd_tables(args) -> int:
     from repro.benchlib import print_all_tables  # lazy: pulls analysis stack
+
     from repro.engine import GdeltStore
 
     store = GdeltStore.open(args.dataset)
@@ -176,39 +233,56 @@ def _cmd_tables(args) -> int:
 
 
 def _cmd_scaling(args) -> int:
-    from repro.analysis.report import render_table
-    from repro.engine import (
-        GdeltStore,
-        SerialExecutor,
-        ThreadExecutor,
-        aggregated_country_query,
-        calibrate_from_measurement,
-    )
+    from repro.benchlib import fig12_scaling
+    from repro.engine import GdeltStore
 
     store = GdeltStore.open(args.dataset)
-    rows = []
-    t1 = None
-    for n in args.threads:
-        ex = SerialExecutor() if n == 1 else ThreadExecutor(n)
-        t0 = time.perf_counter()
-        aggregated_country_query(store, ex)
-        dt = time.perf_counter() - t0
-        ex.close()
-        if n == 1:
-            t1 = dt
-        rows.append((n, dt, (t1 / dt) if t1 else float("nan"), "measured"))
-    if args.model and t1 is not None:
-        model = calibrate_from_measurement(t1)
-        for n in (8, 16, 32, 64):
-            pred = model.predict(n)
-            rows.append((n, pred, t1 / pred, "model"))
-    print(
-        render_table(
-            ["threads", "seconds", "speedup", "kind"],
-            rows,
-            title="Aggregated country query scaling (Fig 12)",
-        )
+    result = fig12_scaling(
+        store,
+        thread_counts=tuple(args.threads),
+        model_counts=(8, 16, 32, 64) if args.model else (),
     )
+    print(result.text)
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    """Traced run of the paper's aggregated country query.
+
+    Emits one JSON document: the query's execution profile, the span
+    tree (scan -> aggregate -> reduce plus per-chunk spans), and the
+    same spans as a ``chrome://tracing`` event list.
+    """
+    import repro.obs as obs
+    from repro.engine import GdeltStore, SerialExecutor, ThreadExecutor
+    from repro.engine.query import aggregated_country_query
+
+    obs.enable()
+    store = GdeltStore.open(args.dataset)
+    ex = SerialExecutor() if args.threads <= 1 else ThreadExecutor(args.threads)
+    result = aggregated_country_query(store, ex, args.chunk_rows, profile=True)
+    ex.close()
+
+    profile = result.profile
+    logger.info("%s", profile.summary())
+    if args.chrome:
+        doc: object = obs.tracer().to_chrome()
+    else:
+        doc = {
+            "query": "aggregated_country_query",
+            "dataset": str(args.dataset),
+            "threads": args.threads,
+            "profile": profile.to_dict(),
+            "spans": obs.tracer().to_json(),
+            "chrome_trace": obs.tracer().to_chrome(),
+        }
+    text = json.dumps(doc, indent=2)
+    if args.trace_out is None:
+        print(text)
+    else:
+        args.trace_out.parent.mkdir(parents=True, exist_ok=True)
+        args.trace_out.write_text(text + "\n", encoding="utf-8")
+        logger.info("trace written to %s", args.trace_out)
     return 0
 
 
@@ -268,20 +342,43 @@ def _cmd_cluster(args) -> int:
     return 0
 
 
+def _write_metrics(path: Path) -> None:
+    import repro.obs as obs
+
+    reg = obs.registry()
+    text = reg.to_json() if path.suffix == ".json" else reg.to_prometheus()
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text if text.endswith("\n") else text + "\n", encoding="utf-8")
+    logger.info("metrics registry (%d series) written to %s", reg.n_series(), path)
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the exit status."""
+    from repro.obs import setup_logging
+
     args = build_parser().parse_args(argv)
+    setup_logging(-1 if args.quiet else args.verbose)
     np.seterr(all="warn")
+
+    metrics_out: Path | None = getattr(args, "metrics_out", None)
+    if metrics_out is not None:
+        import repro.obs as obs
+
+        obs.enable()
     handlers = {
         "synth": _cmd_synth,
         "convert": _cmd_convert,
         "stats": _cmd_stats,
         "tables": _cmd_tables,
         "scaling": _cmd_scaling,
+        "profile": _cmd_profile,
         "wildfires": _cmd_wildfires,
         "cluster": _cmd_cluster,
     }
-    return handlers[args.command](args)
+    rc = handlers[args.command](args)
+    if metrics_out is not None and rc == 0:
+        _write_metrics(metrics_out)
+    return rc
 
 
 if __name__ == "__main__":

@@ -15,6 +15,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs import metrics as _metrics
+from repro.obs import state as _obs
+
 __all__ = [
     "group_count",
     "group_sum",
@@ -39,6 +42,8 @@ def group_count(
 ) -> np.ndarray:
     """Row count per group (int64, length ``n_groups``)."""
     keep = _masked(keys, mask)
+    if _obs._enabled:
+        _metrics.counter("aggregate_rows_total", kernel="group_count").inc(len(keys))
     return np.bincount(keys[keep], minlength=n_groups).astype(np.int64)
 
 
@@ -156,6 +161,10 @@ def group_count_2d(
     keep = (keys_i >= 0) & (keys_j >= 0)
     if mask is not None:
         keep = keep & mask
+    if _obs._enabled:
+        _metrics.counter("aggregate_rows_total", kernel="group_count_2d").inc(
+            len(keys_i)
+        )
     flat = keys_i[keep].astype(np.int64) * nj + keys_j[keep]
     return np.bincount(flat, minlength=ni * nj).reshape(ni, nj).astype(np.int64)
 

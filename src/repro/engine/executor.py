@@ -12,16 +12,28 @@ parallel-for + reduction structure.
   address space copy-on-write, so read-only column arrays are shared for
   free.  Exists mainly for the thread-vs-process ablation; fork+IPC cost
   is part of what it measures.
+
+All executors share one instrumented execution path: when observability
+is enabled (:mod:`repro.obs`) or a :class:`ProfileCollector` is passed,
+every chunk's wall time and worker identity is recorded and fed to the
+span/metrics layer.  With observability off and no collector, the cost
+is a single flag check per map call.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import threading
 import time
 from dataclasses import dataclass
 from typing import Callable, Sequence, TypeVar
 
+from repro.obs import metrics as _metrics
+from repro.obs import state as _obs
+from repro.obs.profile import ProfileCollector
+from repro.obs.trace import span as _span
+from repro.obs.trace import tracer as _tracer
 from repro.parallel.chunking import row_chunks
 from repro.parallel.pool import ThreadTeam
 
@@ -57,35 +69,117 @@ class Executor:
 
     n_workers: int = 1
 
+    def _plan(self, n_rows: int, chunk_rows: int | None) -> list[slice]:
+        """Chunk ``[0, n_rows)`` into the slices one map call executes."""
+        if chunk_rows is None:
+            chunk_rows = default_chunk_rows(n_rows, self.n_workers)
+        return row_chunks(n_rows, chunk_rows)
+
     def map_chunks(
         self,
         kernel: Callable[[slice], T],
         n_rows: int,
         chunk_rows: int | None = None,
+        profile: ProfileCollector | None = None,
     ) -> list[T]:
-        """Run ``kernel`` over every chunk of ``[0, n_rows)``; ordered results."""
-        if chunk_rows is None:
-            chunk_rows = default_chunk_rows(n_rows, self.n_workers)
-        chunks = row_chunks(n_rows, chunk_rows)
-        return self._run(kernel, chunks)
+        """Run ``kernel`` over every chunk of ``[0, n_rows)``; ordered results.
+
+        When ``profile`` is given, per-chunk timings are recorded into it
+        regardless of the global observability switch.
+        """
+        return self._execute(kernel, self._plan(n_rows, chunk_rows), profile)
 
     def map_chunks_timed(
         self,
         kernel: Callable[[slice], T],
         n_rows: int,
         chunk_rows: int | None = None,
+        profile: ProfileCollector | None = None,
     ) -> TimedResult:
-        """:meth:`map_chunks` plus wall-clock measurement."""
-        if chunk_rows is None:
-            chunk_rows = default_chunk_rows(n_rows, self.n_workers)
-        chunks = row_chunks(n_rows, chunk_rows)
+        """:meth:`map_chunks` plus wall-clock measurement (thin wrapper)."""
+        chunks = self._plan(n_rows, chunk_rows)
         t0 = time.perf_counter()
-        partials = self._run(kernel, chunks)
-        return TimedResult(
-            partials=partials,
-            seconds=time.perf_counter() - t0,
-            n_chunks=len(chunks),
-        )
+        partials = self._execute(kernel, chunks, profile)
+        seconds = time.perf_counter() - t0
+        if _obs._enabled:
+            _metrics.histogram(
+                "executor_map_seconds", executor=type(self).__name__
+            ).observe(seconds)
+        return TimedResult(partials=partials, seconds=seconds, n_chunks=len(chunks))
+
+    # -- instrumented execution -------------------------------------------
+
+    def _execute(
+        self,
+        kernel: Callable[[slice], T],
+        chunks: Sequence[slice],
+        profile: ProfileCollector | None,
+    ) -> list[T]:
+        """Run chunks, recording per-chunk timings when asked to.
+
+        The fast path — observability off, no collector — dispatches
+        straight to :meth:`_run` with the caller's kernel untouched.
+        """
+        if profile is None and not _obs._enabled:
+            return self._run(kernel, chunks)
+        collector = profile if profile is not None else ProfileCollector()
+        with _span(
+            "executor.map_chunks",
+            executor=type(self).__name__,
+            chunks=len(chunks),
+            workers=self.n_workers,
+        ) as sp:
+            parent = getattr(sp, "span_id", None)
+            results = self._finalize(
+                self._run(self._wrap(kernel, collector, parent), chunks),
+                collector,
+                parent,
+            )
+        if _obs._enabled and chunks:
+            name = type(self).__name__
+            rows = sum(sl.stop - sl.start for sl in chunks)
+            _metrics.counter("executor_map_calls_total", executor=name).inc()
+            _metrics.counter("executor_chunks_total", executor=name).inc(len(chunks))
+            _metrics.counter("rows_scanned_total", executor=name).inc(rows)
+            hist = _metrics.histogram("chunk_seconds", executor=name)
+            busy = 0.0
+            for c in collector.timings():
+                hist.observe(c.seconds)
+                busy += c.seconds
+            _metrics.counter("worker_busy_seconds_total", executor=name).inc(busy)
+        return results
+
+    def _wrap(
+        self,
+        kernel: Callable[[slice], T],
+        collector: ProfileCollector,
+        parent: int | None,
+    ) -> Callable[[slice], T]:
+        """Wrap ``kernel`` to time each chunk on the executing thread."""
+        record_spans = _obs._enabled
+
+        def wrapped(sl: slice) -> T:
+            t0 = time.perf_counter_ns()
+            result = kernel(sl)
+            t1 = time.perf_counter_ns()
+            collector.add(
+                sl.start, sl.stop, t0 / 1e9, t1 / 1e9,
+                threading.current_thread().name,
+            )
+            if record_spans:
+                _tracer().add_complete(
+                    "executor.chunk", t0, t1, parent=parent,
+                    rows=sl.stop - sl.start,
+                )
+            return result
+
+        return wrapped
+
+    def _finalize(
+        self, results: list, collector: ProfileCollector, parent: int | None
+    ) -> list:
+        """Post-process instrumented results (hook for fork executors)."""
+        return results
 
     def _run(self, kernel: Callable[[slice], T], chunks: Sequence[slice]) -> list[T]:
         raise NotImplementedError
@@ -134,13 +228,29 @@ class ThreadExecutor(Executor):
 # --- process executor -----------------------------------------------------
 
 # Fork-inherited kernel registry: populated in the parent immediately
-# before the pool forks, read by children.  Not for use across pools.
+# before the pool forks, read by children.  _FORK_LOCK serializes
+# concurrent map calls (from different threads or different
+# ProcessExecutor instances) so one call's kernel can never leak into
+# another call's forked children.
 _FORK_KERNEL: list = [None]
+_FORK_LOCK = threading.Lock()
 
 
 def _invoke_forked(sl: slice):
     kernel = _FORK_KERNEL[0]
     return kernel(sl)
+
+
+@dataclass(slots=True)
+class _ForkChunk:
+    """A chunk result measured inside a forked worker (pickled back)."""
+
+    result: object
+    start_row: int
+    stop_row: int
+    t0_ns: int
+    t1_ns: int
+    pid: int
 
 
 class ProcessExecutor(Executor):
@@ -158,11 +268,42 @@ class ProcessExecutor(Executor):
         if multiprocessing.get_start_method(allow_none=True) not in (None, "fork"):
             raise RuntimeError("ProcessExecutor requires the fork start method")
 
+    def _wrap(self, kernel, collector, parent):
+        # Timings are taken inside the child and shipped back with the
+        # partial; perf_counter_ns is CLOCK_MONOTONIC-based on Linux, so
+        # child timestamps share the parent's timeline.
+        def wrapped(sl: slice) -> _ForkChunk:
+            t0 = time.perf_counter_ns()
+            result = kernel(sl)
+            return _ForkChunk(
+                result, sl.start, sl.stop, t0, time.perf_counter_ns(), os.getpid()
+            )
+
+        return wrapped
+
+    def _finalize(self, results, collector, parent):
+        record_spans = _obs._enabled
+        out = []
+        for item in results:
+            worker = f"pid-{item.pid}"
+            collector.add(
+                item.start_row, item.stop_row,
+                item.t0_ns / 1e9, item.t1_ns / 1e9, worker,
+            )
+            if record_spans:
+                _tracer().add_complete(
+                    "executor.chunk", item.t0_ns, item.t1_ns, parent=parent,
+                    thread_name=worker, rows=item.stop_row - item.start_row,
+                )
+            out.append(item.result)
+        return out
+
     def _run(self, kernel, chunks):
         ctx = multiprocessing.get_context("fork")
-        _FORK_KERNEL[0] = kernel
-        try:
-            with ctx.Pool(self.n_workers) as pool:
-                return pool.map(_invoke_forked, list(chunks))
-        finally:
-            _FORK_KERNEL[0] = None
+        with _FORK_LOCK:
+            _FORK_KERNEL[0] = kernel
+            try:
+                with ctx.Pool(self.n_workers) as pool:
+                    return pool.map(_invoke_forked, list(chunks))
+            finally:
+                _FORK_KERNEL[0] = None

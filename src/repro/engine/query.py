@@ -15,7 +15,8 @@ so it supports chunked parallel execution.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -31,6 +32,10 @@ from repro.engine.aggregate import (
 from repro.engine.executor import Executor, SerialExecutor
 from repro.engine.expr import Expr
 from repro.engine.store import GdeltStore
+from repro.obs import metrics as _metrics
+from repro.obs import state as _obs
+from repro.obs.profile import ProfileCollector, QueryProfile
+from repro.obs.trace import span as _span
 
 __all__ = ["Query", "CountryQueryResult", "aggregated_country_query"]
 
@@ -69,6 +74,9 @@ class Query:
         if not (0 <= rows.start <= rows.stop <= total):
             raise ValueError(f"row range {rows} outside table of {total} rows")
         self.rows = rows
+        #: Execution profile of the most recent terminal operation run
+        #: with observability enabled (None otherwise).
+        self.last_profile: QueryProfile | None = None
 
     @property
     def n_rows(self) -> int:
@@ -165,13 +173,37 @@ class Query:
             self.where.evaluate(self.table, self._abs(sl)), dtype=bool
         )
 
+    def _map(self, kernel, op: str) -> list:
+        """Run a terminal kernel over the view's chunks.
+
+        With observability enabled, wraps the scan in a ``query.<op>``
+        span, collects a :class:`QueryProfile` into :attr:`last_profile`,
+        and feeds the query counters/latency histogram.
+        """
+        if not _obs._enabled:
+            return self.executor.map_chunks(kernel, self.n_rows)
+        collector = ProfileCollector()
+        with _span(f"query.{op}", table=self.table_name, rows=self.n_rows):
+            t0 = time.perf_counter()
+            parts = self.executor.map_chunks(kernel, self.n_rows, profile=collector)
+            wall = time.perf_counter() - t0
+        self.last_profile = collector.finish(
+            name=f"query.{op}",
+            n_rows=self.n_rows,
+            n_workers=getattr(self.executor, "n_workers", 1),
+            wall_seconds=wall,
+        )
+        _metrics.counter("queries_total", op=op).inc()
+        _metrics.histogram("query_seconds", op=op).observe(wall)
+        return parts
+
     # -- terminal operations -------------------------------------------------
 
     def mask(self) -> np.ndarray:
         """Full boolean filter mask (all-true when unfiltered)."""
         if self.where is None:
             return np.ones(self.n_rows, dtype=bool)
-        parts = self.executor.map_chunks(self._mask, self.n_rows)
+        parts = self._map(self._mask, "mask")
         return np.concatenate(parts) if parts else np.zeros(0, dtype=bool)
 
     def count(self) -> int:
@@ -181,7 +213,7 @@ class Query:
             m = self._mask(sl)
             return (sl.stop - sl.start) if m is None else int(m.sum())
 
-        return sum(self.executor.map_chunks(kernel, self.n_rows))
+        return sum(self._map(kernel, "count"))
 
     def sum(self, column: str) -> float:
         """Sum of a column over passing rows."""
@@ -191,7 +223,7 @@ class Query:
             m = self._mask(sl)
             return float(v.sum()) if m is None else float(v[m].sum())
 
-        return sum(self.executor.map_chunks(kernel, self.n_rows))
+        return sum(self._map(kernel, "sum"))
 
     def mean(self, column: str) -> float:
         """Mean of a column over passing rows (NaN when empty)."""
@@ -208,7 +240,7 @@ class Query:
         def kernel(sl: slice) -> np.ndarray:
             return group_count(keys[self._abs(sl)], n_groups, self._mask(sl))
 
-        parts = self.executor.map_chunks(kernel, self.n_rows)
+        parts = self._map(kernel, "groupby_count")
         return np.sum(parts, axis=0) if parts else np.zeros(n_groups, dtype=np.int64)
 
     def groupby_sum(
@@ -222,7 +254,7 @@ class Query:
                 keys[asl], self.table[column][asl], n_groups, self._mask(sl)
             )
 
-        parts = self.executor.map_chunks(kernel, self.n_rows)
+        parts = self._map(kernel, "groupby_sum")
         return np.sum(parts, axis=0) if parts else np.zeros(n_groups)
 
     def groupby_stats(
@@ -259,11 +291,14 @@ class CountryQueryResult:
             of both countries (diagonal: e_i) — Table V's numerator.
         publisher_articles: total attributed articles per publisher
             country (Table VII's denominators).
+        profile: execution profile of the producing run (None when the
+            query ran without observability or profiling).
     """
 
     cross_counts: np.ndarray
     co_events: np.ndarray
     publisher_articles: np.ndarray
+    profile: QueryProfile | None = field(default=None, compare=False)
 
     def jaccard(self) -> np.ndarray:
         """Country co-reporting c_ij = e_ij / (e_i + e_j - e_ij)."""
@@ -285,6 +320,7 @@ def aggregated_country_query(
     store: GdeltStore,
     executor: Executor | None = None,
     chunk_rows: int | None = None,
+    profile: bool | None = None,
 ) -> CountryQueryResult:
     """One parallel pass over mentions producing Tables V, VI and VII.
 
@@ -293,6 +329,12 @@ def aggregated_country_query(
     count matrix, and mark (event, country) incidence bits.  The reduce
     step sums count matrices, ORs incidence, and turns incidence into the
     country-pair co-event matrix with one matmul.
+
+    Args:
+        profile: force profile collection on (True) or off (False);
+            default None collects exactly when observability is enabled.
+            The collected :class:`QueryProfile` lands on the result's
+            ``profile`` attribute.
     """
     executor = executor or SerialExecutor()
     n_c = store.n_countries
@@ -315,31 +357,66 @@ def aggregated_country_query(
         pairs = np.unique(rows[ok] * np.int64(n_c) + pub[ok])
         return counts, pairs
 
-    partials = executor.map_chunks(kernel, store.n_mentions, chunk_rows)
-    cross = np.zeros((n_c, n_c), dtype=np.int64)
-    pair_parts = []
-    for counts, pairs in partials:
-        cross += counts
-        pair_parts.append(pairs)
-    all_pairs = (
-        np.unique(np.concatenate(pair_parts))
-        if pair_parts
-        else np.empty(0, dtype=np.int64)
-    )
+    collect = _obs._enabled if profile is None else profile
+    collector = ProfileCollector() if collect else None
 
-    # e_ij via one BLAS matmul on the (events x countries) incidence.
-    # float32 is exact: entries are 0/1 and co-counts stay far below 2^24
-    # per accumulation step at any realistic country count.
-    incidence = np.zeros((n_events, n_c), dtype=np.float32)
-    incidence[all_pairs // n_c, all_pairs % n_c] = 1.0
-    co_events = np.rint(incidence.T @ incidence).astype(np.int64)
-    publisher_articles = cross.sum(axis=0) + _unlocated_articles(
-        store, src_country, source_id, n_c
-    )
+    with _span("query.aggregated_country", rows=store.n_mentions):
+        with _span("query.scan", rows=store.n_mentions, table="mentions"):
+            t0 = time.perf_counter()
+            partials = executor.map_chunks(
+                kernel, store.n_mentions, chunk_rows, profile=collector
+            )
+            scan_wall = time.perf_counter() - t0
+
+        with _span("query.aggregate", chunks=len(partials)):
+            cross = np.zeros((n_c, n_c), dtype=np.int64)
+            pair_parts = []
+            for counts, pairs in partials:
+                cross += counts
+                pair_parts.append(pairs)
+            all_pairs = (
+                np.unique(np.concatenate(pair_parts))
+                if pair_parts
+                else np.empty(0, dtype=np.int64)
+            )
+
+        with _span("query.reduce", pairs=int(len(all_pairs))):
+            # e_ij via one BLAS matmul on the (events x countries)
+            # incidence.  float32 is exact: entries are 0/1 and co-counts
+            # stay far below 2^24 per accumulation step at any realistic
+            # country count.
+            incidence = np.zeros((n_events, n_c), dtype=np.float32)
+            incidence[all_pairs // n_c, all_pairs % n_c] = 1.0
+            co_events = np.rint(incidence.T @ incidence).astype(np.int64)
+            publisher_articles = cross.sum(axis=0) + _unlocated_articles(
+                store, src_country, source_id, n_c
+            )
+
+    query_profile = None
+    if collector is not None:
+        # Sequentially streamed column bytes per mention row: the join
+        # column and the source-id column (the gathers read dictionary-
+        # sized tables that stay cache-resident).  This is the number a
+        # STREAM bandwidth figure for the host is compared against.
+        bytes_per_row = ev_row.dtype.itemsize + source_id.dtype.itemsize
+        query_profile = collector.finish(
+            name="aggregated_country_query",
+            n_rows=store.n_mentions,
+            n_workers=getattr(executor, "n_workers", 1),
+            wall_seconds=scan_wall,
+            bytes_scanned=store.n_mentions * bytes_per_row,
+        )
+        if _obs._enabled:
+            _metrics.counter("queries_total", op="aggregated_country").inc()
+            _metrics.histogram("query_seconds", op="aggregated_country").observe(
+                scan_wall
+            )
+
     return CountryQueryResult(
         cross_counts=cross,
         co_events=co_events,
         publisher_articles=publisher_articles,
+        profile=query_profile,
     )
 
 

@@ -20,6 +20,8 @@ Table layouts produced (see DESIGN.md):
 
 from __future__ import annotations
 
+import logging
+import time
 import zipfile
 from dataclasses import dataclass
 from pathlib import Path
@@ -31,10 +33,15 @@ from repro.gdelt.masterlist import EXPORT_KIND, parse_master_list
 from repro.ingest.accumulate import EventAccumulator, MentionAccumulator
 from repro.ingest.fetch import LocalFetcher
 from repro.ingest.validate import ProblemReport
+from repro.obs import metrics as _metrics
+from repro.obs import state as _obs
+from repro.obs.trace import span as _span
 from repro.storage.index import aligned_group_bounds, sort_permutation
 from repro.storage.writer import DatasetWriter
 
 __all__ = ["ConversionResult", "convert_raw_to_binary"]
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(slots=True)
@@ -85,96 +92,121 @@ def convert_raw_to_binary(
     out_dir = Path(out_dir)
     report = ProblemReport()
 
-    master_text = (raw_dir / "masterfilelist.txt").read_text(encoding="utf-8")
-    parsed = parse_master_list(master_text)
+    with _span("ingest.parse_master"):
+        master_text = (raw_dir / "masterfilelist.txt").read_text(encoding="utf-8")
+        parsed = parse_master_list(master_text)
     for line in parsed.malformed_lines:
         report.note("malformed_master_entries", line[:120])
 
     fetcher = LocalFetcher(raw_dir, verify_checksums=verify_checksums)
     chunks = sorted(parsed.chunks, key=lambda c: (c.interval, c.kind))
+    logger.info("converting %d chunk archives from %s", len(chunks), raw_dir)
 
     events_acc = EventAccumulator()
     mentions_acc = MentionAccumulator()
 
-    for ref in chunks:
-        res = fetcher.fetch(ref, report)
-        if res.path is None:
-            continue
-        if res.checksum_ok is False:
-            report.note("corrupt_archives", f"{res.path.name}: checksum mismatch")
-            continue
-        try:
-            fh = open_chunk_text(res.path)
-        except (zipfile.BadZipFile, ValueError, OSError) as exc:
-            report.note("corrupt_archives", f"{res.path.name}: {exc}")
-            continue
-        with fh:
-            if ref.kind == EXPORT_KIND:
-                for line in fh:
-                    line = line.rstrip("\n")
-                    if not line:
-                        continue
-                    try:
-                        e = event_from_row(line.split("\t"))
-                    except (ValueError, IndexError) as exc:
-                        report.note("bad_event_rows", f"{res.path.name}: {exc}")
-                        continue
-                    events_acc.add(e, report)
-            else:
-                for line in fh:
-                    line = line.rstrip("\n")
-                    if not line:
-                        continue
-                    try:
-                        m = mention_from_row(line.split("\t"))
-                    except (ValueError, IndexError) as exc:
-                        report.note("bad_mention_rows", f"{res.path.name}: {exc}")
-                        continue
-                    mentions_acc.add(m, report)
+    with _span("ingest.scan_chunks", chunks=len(chunks)) as scan_sp:
+        for ref in chunks:
+            res = fetcher.fetch(ref, report)
+            if res.path is None:
+                continue
+            if res.checksum_ok is False:
+                report.note("corrupt_archives", f"{res.path.name}: checksum mismatch")
+                continue
+            try:
+                fh = open_chunk_text(res.path)
+            except (zipfile.BadZipFile, ValueError, OSError) as exc:
+                report.note("corrupt_archives", f"{res.path.name}: {exc}")
+                continue
+            rows = 0
+            t0 = time.perf_counter()
+            with fh:
+                if ref.kind == EXPORT_KIND:
+                    for line in fh:
+                        line = line.rstrip("\n")
+                        if not line:
+                            continue
+                        try:
+                            e = event_from_row(line.split("\t"))
+                        except (ValueError, IndexError) as exc:
+                            report.note("bad_event_rows", f"{res.path.name}: {exc}")
+                            continue
+                        events_acc.add(e, report)
+                        rows += 1
+                else:
+                    for line in fh:
+                        line = line.rstrip("\n")
+                        if not line:
+                            continue
+                        try:
+                            m = mention_from_row(line.split("\t"))
+                        except (ValueError, IndexError) as exc:
+                            report.note("bad_mention_rows", f"{res.path.name}: {exc}")
+                            continue
+                        mentions_acc.add(m, report)
+                        rows += 1
+            dt = time.perf_counter() - t0
+            if _obs._enabled:
+                _metrics.counter("ingest_archives_total", kind=ref.kind).inc()
+                _metrics.counter("ingest_rows_total", kind=ref.kind).inc(rows)
+                _metrics.histogram("ingest_archive_seconds").observe(dt)
+            logger.debug(
+                "%s: %d rows in %.3fs (%.0f rows/s)",
+                res.path.name, rows, dt, rows / dt if dt > 0 else 0.0,
+            )
+        scan_sp.set(events=len(events_acc), mentions=len(mentions_acc))
 
-    events, countries_dict, event_urls_dict = events_acc.freeze()
-    mentions, sources_dict, mention_urls_dict = mentions_acc.freeze()
-
-    perm = sort_permutation(mentions["GlobalEventID"])
-    sorted_eids = mentions["GlobalEventID"][perm]
-    bounds = aligned_group_bounds(events["GlobalEventID"], sorted_eids)
-
-    writer = DatasetWriter(out_dir)
-    writer.add_table(
-        "events",
-        events,
-        dictionaries={"CountryCode": "countries", "SourceURLId": "event_urls"},
-        codecs=COMPRESSED_EVENT_CODECS if compress else None,
-    )
-    writer.add_table(
-        "mentions",
-        mentions,
-        dictionaries={"SourceId": "sources", "UrlId": "mention_urls"},
-        codecs=COMPRESSED_MENTION_CODECS if compress else None,
-    )
-    writer.add_dictionary("countries", countries_dict)
-    writer.add_dictionary("event_urls", event_urls_dict)
-    writer.add_dictionary("sources", sources_dict)
-    writer.add_dictionary("mention_urls", mention_urls_dict)
-    writer.add_index("mentions_by_event", "mentions", "permutation", perm)
-    writer.add_index(
-        "mentions_ev_lo", "events", "boundaries", bounds[:, 0].astype(np.int64)
-    )
-    writer.add_index(
-        "mentions_ev_hi", "events", "boundaries", bounds[:, 1].astype(np.int64)
+    logger.info(
+        "scanned %d events / %d mentions, %d problems",
+        len(events_acc), len(mentions_acc), report.total(),
     )
 
-    n_intervals = int(len(np.unique(mentions["MentionInterval"])))
-    writer.finish(
-        meta={
-            "origin": "raw-conversion",
-            "n_events": len(events_acc),
-            "n_mentions": len(mentions_acc),
-            "n_sources": len(sources_dict),
-            "n_intervals": n_intervals,
-            "problems_total": report.total(),
-        }
-    )
+    with _span("ingest.sort_index"):
+        events, countries_dict, event_urls_dict = events_acc.freeze()
+        mentions, sources_dict, mention_urls_dict = mentions_acc.freeze()
+
+        perm = sort_permutation(mentions["GlobalEventID"])
+        sorted_eids = mentions["GlobalEventID"][perm]
+        bounds = aligned_group_bounds(events["GlobalEventID"], sorted_eids)
+
+    with _span("ingest.write", compress=compress):
+        writer = DatasetWriter(out_dir)
+        writer.add_table(
+            "events",
+            events,
+            dictionaries={"CountryCode": "countries", "SourceURLId": "event_urls"},
+            codecs=COMPRESSED_EVENT_CODECS if compress else None,
+        )
+        writer.add_table(
+            "mentions",
+            mentions,
+            dictionaries={"SourceId": "sources", "UrlId": "mention_urls"},
+            codecs=COMPRESSED_MENTION_CODECS if compress else None,
+        )
+        writer.add_dictionary("countries", countries_dict)
+        writer.add_dictionary("event_urls", event_urls_dict)
+        writer.add_dictionary("sources", sources_dict)
+        writer.add_dictionary("mention_urls", mention_urls_dict)
+        writer.add_index("mentions_by_event", "mentions", "permutation", perm)
+        writer.add_index(
+            "mentions_ev_lo", "events", "boundaries", bounds[:, 0].astype(np.int64)
+        )
+        writer.add_index(
+            "mentions_ev_hi", "events", "boundaries", bounds[:, 1].astype(np.int64)
+        )
+
+        n_intervals = int(len(np.unique(mentions["MentionInterval"])))
+        writer.finish(
+            meta={
+                "origin": "raw-conversion",
+                "n_events": len(events_acc),
+                "n_mentions": len(mentions_acc),
+                "n_sources": len(sources_dict),
+                "n_intervals": n_intervals,
+                "problems_total": report.total(),
+            }
+        )
+    logger.info("wrote binary dataset %s", out_dir)
     return ConversionResult(
         dataset_dir=out_dir,
         report=report,

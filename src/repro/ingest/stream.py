@@ -16,6 +16,7 @@ extends the previous one.
 
 from __future__ import annotations
 
+import logging
 import zipfile
 from dataclasses import dataclass
 from pathlib import Path
@@ -26,8 +27,13 @@ from repro.gdelt.masterlist import EXPORT_KIND, parse_master_list
 from repro.ingest.accumulate import EventAccumulator, MentionAccumulator
 from repro.ingest.fetch import LocalFetcher
 from repro.ingest.validate import ProblemReport
+from repro.obs import metrics as _metrics
+from repro.obs import state as _obs
+from repro.obs.trace import span as _span
 
 __all__ = ["PollResult", "LiveFollower"]
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(slots=True)
@@ -92,47 +98,65 @@ class LiveFollower:
 
         ev_before, mt_before = len(self._events), len(self._mentions)
         new_chunks = 0
-        for ref in sorted(parsed.chunks, key=lambda c: (c.interval, c.kind)):
-            if ref.entry.url in self._seen_urls:
-                continue
-            name = ref.entry.url.rsplit("/", 1)[-1]
-            path = self.raw_dir / name
-            if not path.exists():
-                # Not marked seen: retried next poll. Recorded once the
-                # follower is closed via finalize_missing().
-                continue
-            self._seen_urls.add(ref.entry.url)
-            new_chunks += 1
-            try:
-                fh = open_chunk_text(path)
-            except (zipfile.BadZipFile, ValueError, OSError) as exc:
-                self.report.note("corrupt_archives", f"{name}: {exc}")
-                continue
-            with fh:
-                for line in fh:
-                    line = line.rstrip("\n")
-                    if not line:
-                        continue
-                    if ref.kind == EXPORT_KIND:
-                        try:
-                            self._events.add(
-                                event_from_row(line.split("\t")), self.report
-                            )
-                        except (ValueError, IndexError) as exc:
-                            self.report.note("bad_event_rows", f"{name}: {exc}")
-                    else:
-                        try:
-                            self._mentions.add(
-                                mention_from_row(line.split("\t")), self.report
-                            )
-                        except (ValueError, IndexError) as exc:
-                            self.report.note("bad_mention_rows", f"{name}: {exc}")
+        with _span("ingest.poll") as sp:
+            for ref in sorted(parsed.chunks, key=lambda c: (c.interval, c.kind)):
+                if ref.entry.url in self._seen_urls:
+                    continue
+                name = ref.entry.url.rsplit("/", 1)[-1]
+                path = self.raw_dir / name
+                if not path.exists():
+                    # Not marked seen: retried next poll. Recorded once the
+                    # follower is closed via finalize_missing().
+                    continue
+                self._seen_urls.add(ref.entry.url)
+                new_chunks += 1
+                try:
+                    fh = open_chunk_text(path)
+                except (zipfile.BadZipFile, ValueError, OSError) as exc:
+                    self.report.note("corrupt_archives", f"{name}: {exc}")
+                    continue
+                with fh:
+                    for line in fh:
+                        line = line.rstrip("\n")
+                        if not line:
+                            continue
+                        if ref.kind == EXPORT_KIND:
+                            try:
+                                self._events.add(
+                                    event_from_row(line.split("\t")), self.report
+                                )
+                            except (ValueError, IndexError) as exc:
+                                self.report.note("bad_event_rows", f"{name}: {exc}")
+                        else:
+                            try:
+                                self._mentions.add(
+                                    mention_from_row(line.split("\t")), self.report
+                                )
+                            except (ValueError, IndexError) as exc:
+                                self.report.note(
+                                    "bad_mention_rows", f"{name}: {exc}"
+                                )
+                logger.debug("live ingest: %s", name)
+            sp.set(chunks=new_chunks)
 
-        return PollResult(
+        result = PollResult(
             new_chunks=new_chunks,
             new_events=len(self._events) - ev_before,
             new_mentions=len(self._mentions) - mt_before,
         )
+        if _obs._enabled:
+            _metrics.counter("live_polls_total").inc()
+            _metrics.counter("live_chunks_total").inc(result.new_chunks)
+            _metrics.counter("live_rows_total", table="events").inc(result.new_events)
+            _metrics.counter("live_rows_total", table="mentions").inc(
+                result.new_mentions
+            )
+        if not result.idle:
+            logger.info(
+                "poll: +%d chunks, +%d events, +%d mentions",
+                result.new_chunks, result.new_events, result.new_mentions,
+            )
+        return result
 
     def finalize_missing(self) -> int:
         """Record still-missing referenced archives (end-of-run audit).

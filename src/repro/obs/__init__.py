@@ -1,0 +1,77 @@
+"""Observability: tracing spans, metrics, and per-query profiles.
+
+The measurement substrate behind the paper's performance story (OpenMP
+scaling of the aggregated country query, preprocessing throughput,
+memory footprint): every later optimisation proves its win against the
+numbers this package records.
+
+Three coordinated layers, all opt-in:
+
+* :mod:`repro.obs.trace` — nested, thread-aware spans
+  (``span("query.scan", rows=n)``) exportable as JSON or a Chrome
+  ``chrome://tracing`` event list;
+* :mod:`repro.obs.metrics` — a process-global registry of counters,
+  gauges, and log2-bucketed histograms with Prometheus-text and JSON
+  dumps;
+* :mod:`repro.obs.profile` — per-query :class:`QueryProfile` objects
+  (per-chunk wall times, worker utilization/imbalance, effective scan
+  bandwidth).
+
+Everything is off by default and compiles down to near-no-ops: hot
+paths pay one flag check.  Turn it on with :func:`enable`, the
+``REPRO_OBS=1`` environment variable, or the CLI's ``profile``
+subcommand / ``--metrics-out`` flag.
+
+Usage::
+
+    import repro.obs as obs
+
+    obs.enable()
+    result = aggregated_country_query(store, ThreadExecutor(8))
+    print(result.profile.summary())
+    print(obs.metrics.registry().to_prometheus())
+    json.dump(obs.trace.tracer().to_chrome(), fh)
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.obs import metrics, trace
+from repro.obs.logcfg import setup_logging
+from repro.obs.metrics import MetricsRegistry, counter, gauge, histogram, registry
+from repro.obs.profile import ChunkTiming, ProfileCollector, QueryProfile
+from repro.obs.state import disable, enable, enabled
+from repro.obs.trace import SpanRecord, Tracer, span, tracer
+
+__all__ = [
+    "enable",
+    "disable",
+    "enabled",
+    "reset",
+    "span",
+    "tracer",
+    "Tracer",
+    "SpanRecord",
+    "counter",
+    "gauge",
+    "histogram",
+    "registry",
+    "MetricsRegistry",
+    "QueryProfile",
+    "ProfileCollector",
+    "ChunkTiming",
+    "setup_logging",
+    "metrics",
+    "trace",
+]
+
+
+def reset() -> None:
+    """Clear all recorded spans and metric series (the flag is untouched)."""
+    trace.reset()
+    metrics.reset()
+
+
+if os.environ.get("REPRO_OBS", "").strip().lower() in ("1", "true", "yes", "on"):
+    enable()

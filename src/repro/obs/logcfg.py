@@ -1,0 +1,59 @@
+"""Stdlib logging setup for the ``repro`` logger tree.
+
+Every module logs through ``logging.getLogger(__name__)`` (all under the
+``repro.`` prefix); :func:`setup_logging` attaches one stream handler to
+the ``repro`` root so the CLI's ``-v``/``-q`` flags control the whole
+tree.  Progress goes to *stderr* by default, keeping stdout clean for
+tables and JSON dumps.
+
+The handler is re-created on every call (and the previous one removed),
+so repeated CLI invocations in one process — the test suite — always
+bind the current ``sys.stderr``.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import IO
+
+__all__ = ["setup_logging"]
+
+#: Marker attribute identifying the handler this module installed.
+_MARKER = "_repro_obs_handler"
+
+
+def setup_logging(verbosity: int = 0, stream: IO[str] | None = None) -> logging.Logger:
+    """Configure the ``repro`` logger tree.
+
+    Args:
+        verbosity: ``<0`` → WARNING (quiet), ``0`` → INFO (default),
+            ``>=1`` → DEBUG; DEBUG also switches to a timestamped format.
+        stream: destination (default: current ``sys.stderr``).
+
+    Returns:
+        The configured ``repro`` logger.
+    """
+    logger = logging.getLogger("repro")
+    for h in list(logger.handlers):
+        if getattr(h, _MARKER, False):
+            logger.removeHandler(h)
+
+    if verbosity < 0:
+        level = logging.WARNING
+    elif verbosity == 0:
+        level = logging.INFO
+    else:
+        level = logging.DEBUG
+
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    if level == logging.DEBUG:
+        fmt = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+    else:
+        fmt = "%(message)s"
+    handler.setFormatter(logging.Formatter(fmt))
+    setattr(handler, _MARKER, True)
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    logger.propagate = False
+    return logger

@@ -1,0 +1,34 @@
+"""Global observability on/off switch.
+
+Kept in its own leaf module so every instrumented hot path can check the
+flag with one attribute load and no import cycles: ``trace``, ``metrics``
+and the engine all import this module, never each other's internals.
+
+The flag is process-global and intentionally *not* thread-local: the
+paper-style measurement runs either fully instrumented or fully dark.
+"""
+
+from __future__ import annotations
+
+__all__ = ["enabled", "enable", "disable"]
+
+#: Read directly (``state._enabled``) only from instrumentation fast
+#: paths inside this package; everyone else goes through :func:`enabled`.
+_enabled = False
+
+
+def enabled() -> bool:
+    """Whether tracing/metrics collection is currently on."""
+    return _enabled
+
+
+def enable() -> None:
+    """Turn observability on (spans and metrics start recording)."""
+    global _enabled
+    _enabled = True
+
+
+def disable() -> None:
+    """Turn observability off (instrumentation reverts to no-ops)."""
+    global _enabled
+    _enabled = False

@@ -25,6 +25,9 @@ import zlib
 
 import numpy as np
 
+from repro.obs import metrics as _metrics
+from repro.obs import state as _obs
+
 __all__ = ["encode_column", "decode_column", "CODECS", "codec_supports"]
 
 #: Codec registry; "raw" is handled by the writer/reader fast path.
@@ -56,14 +59,20 @@ def encode_column(arr: np.ndarray, codec: str) -> bytes:
     if codec == "delta-rle":
         if not codec_supports(codec, arr.dtype):
             raise ValueError(f"delta-rle cannot encode dtype {arr.dtype}")
-        return _encode_delta_rle(arr)
-    if codec == "delta-zlib":
+        out = _encode_delta_rle(arr)
+    elif codec == "delta-zlib":
         if not codec_supports(codec, arr.dtype):
             raise ValueError(f"delta-zlib cannot encode dtype {arr.dtype}")
-        return _encode_delta_zlib(arr)
-    if codec == "zlib":
-        return _MAGIC_ZLIB + zlib.compress(arr.tobytes(), level=6)
-    raise ValueError(f"unknown codec {codec!r}")
+        out = _encode_delta_zlib(arr)
+    elif codec == "zlib":
+        out = _MAGIC_ZLIB + zlib.compress(arr.tobytes(), level=6)
+    else:
+        raise ValueError(f"unknown codec {codec!r}")
+    if _obs._enabled:
+        _metrics.counter("codec_encoded_columns_total", codec=codec).inc()
+        _metrics.counter("codec_bytes_in_total", codec=codec).inc(arr.nbytes)
+        _metrics.counter("codec_bytes_out_total", codec=codec).inc(len(out))
+    return out
 
 
 def decode_column(data: bytes, codec: str, dtype: np.dtype, n: int) -> np.ndarray:
@@ -74,18 +83,24 @@ def decode_column(data: bytes, codec: str, dtype: np.dtype, n: int) -> np.ndarra
     """
     dtype = np.dtype(dtype)
     if codec == "delta-rle":
-        return _decode_delta_rle(data, dtype, n)
-    if codec == "delta-zlib":
-        return _decode_delta_zlib(data, dtype, n)
-    if codec == "zlib":
+        out = _decode_delta_rle(data, dtype, n)
+    elif codec == "delta-zlib":
+        out = _decode_delta_zlib(data, dtype, n)
+    elif codec == "zlib":
         if data[:4] != _MAGIC_ZLIB:
             raise ValueError("zlib column: bad magic")
         raw = zlib.decompress(data[4:])
-        out = np.frombuffer(raw, dtype=dtype)
-        if len(out) != n:
-            raise ValueError(f"zlib column: {len(out)} elements, expected {n}")
-        return out.copy()
-    raise ValueError(f"unknown codec {codec!r}")
+        decoded = np.frombuffer(raw, dtype=dtype)
+        if len(decoded) != n:
+            raise ValueError(f"zlib column: {len(decoded)} elements, expected {n}")
+        out = decoded.copy()
+    else:
+        raise ValueError(f"unknown codec {codec!r}")
+    if _obs._enabled:
+        _metrics.counter("codec_decoded_columns_total", codec=codec).inc()
+        _metrics.counter("codec_bytes_decoded_in_total", codec=codec).inc(len(data))
+        _metrics.counter("codec_bytes_decoded_out_total", codec=codec).inc(out.nbytes)
+    return out
 
 
 def _encode_delta_rle(arr: np.ndarray) -> bytes:

@@ -13,6 +13,9 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.obs import metrics as _metrics
+from repro.obs import state as _obs
+from repro.obs.trace import span as _span
 from repro.storage.columns import StringDictionary
 from repro.storage.format import (
     Manifest,
@@ -90,14 +93,28 @@ class DatasetReader:
         if c.codec != "raw":
             from repro.storage.codecs import decode_column
 
-            return decode_column(path.read_bytes(), c.codec, c.np_dtype(), t.rows)
-        if self.mode == "mmap":
-            return np.memmap(path, dtype=c.np_dtype(), mode="r", shape=(t.rows,))
-        return np.fromfile(path, dtype=c.np_dtype())
+            out = decode_column(path.read_bytes(), c.codec, c.np_dtype(), t.rows)
+        elif self.mode == "mmap":
+            out = np.memmap(path, dtype=c.np_dtype(), mode="r", shape=(t.rows,))
+        else:
+            out = np.fromfile(path, dtype=c.np_dtype())
+        if _obs._enabled:
+            _metrics.counter(
+                "storage_columns_read_total", mode=self.mode, codec=c.codec
+            ).inc()
+            # Logical column bytes: what a query over this column streams
+            # (mmap-ed columns fault these in lazily).
+            _metrics.counter("storage_column_bytes_total", table=table).inc(
+                out.nbytes
+            )
+        return out
 
     def table_arrays(self, table: str) -> dict[str, np.ndarray]:
         """Load every column of a table."""
-        return {c: self.column(table, c) for c in self.columns(table)}
+        with _span("storage.load_table", table=table) as sp:
+            arrays = {c: self.column(table, c) for c in self.columns(table)}
+            sp.set(columns=len(arrays))
+        return arrays
 
     def dictionary(self, name: str) -> StringDictionary:
         """Load a shared string dictionary."""

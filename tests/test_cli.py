@@ -43,8 +43,16 @@ class TestSynth:
         )
         assert rc == 0
         assert (raw / "masterfilelist.txt").exists()
-        out = capsys.readouterr().out
-        assert "planted defects" in out
+        # Progress reporting goes through logging to stderr, not stdout.
+        captured = capsys.readouterr()
+        assert "planted defects" in captured.err
+        assert "planted defects" not in captured.out
+
+    def test_quiet_suppresses_progress(self, tmp_path, capsys):
+        db = tmp_path / "db"
+        assert main(["-q", "synth", "--preset", "tiny", "--binary-dir", str(db)]) == 0
+        captured = capsys.readouterr()
+        assert "generated" not in captured.err
 
 
 class TestQueries:
@@ -96,3 +104,83 @@ class TestConvertCommand:
         assert "Problems found" in out
         assert main(["stats", str(db)]) == 0
         assert "Articles" in capsys.readouterr().out
+
+
+class TestProfileCommand:
+    def test_profile_emits_scan_aggregate_reduce_spans(self, tiny_binary, capsys):
+        import json
+
+        import repro.obs as obs
+
+        obs.reset()
+        try:
+            assert main(["profile", str(tiny_binary), "--threads", "2"]) == 0
+            doc = json.loads(capsys.readouterr().out)
+        finally:
+            obs.disable()
+            obs.reset()
+        names = {s["name"] for s in doc["spans"]}
+        assert {"query.scan", "query.aggregate", "query.reduce"} <= names
+        assert doc["profile"]["n_rows"] > 0
+        assert doc["profile"]["n_chunks"] >= 1
+        assert doc["chrome_trace"], "chrome trace event list must be non-empty"
+        assert all("ts" in ev and "dur" in ev for ev in doc["chrome_trace"])
+
+    def test_profile_trace_out_file(self, tiny_binary, tmp_path):
+        import json
+
+        import repro.obs as obs
+
+        out = tmp_path / "trace.json"
+        obs.reset()
+        try:
+            rc = main(
+                ["profile", str(tiny_binary), "--trace-out", str(out), "--chrome"]
+            )
+        finally:
+            obs.disable()
+            obs.reset()
+        assert rc == 0
+        events = json.loads(out.read_text())
+        assert isinstance(events, list) and events
+
+    def test_metrics_out_registry_dump(self, tiny_binary, tmp_path):
+        import json
+
+        import repro.obs as obs
+
+        out = tmp_path / "metrics.json"
+        obs.reset()
+        try:
+            rc = main(["profile", str(tiny_binary), "--metrics-out", str(out),
+                       "--trace-out", str(tmp_path / "t.json")])
+        finally:
+            obs.disable()
+            obs.reset()
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        series = doc["metrics"]
+        # The acceptance bar: a profiled query run yields a registry dump
+        # with at least 8 distinct series.
+        assert len(series) >= 8
+        names = {m["name"] for m in series}
+        assert "rows_scanned_total" in names
+        assert "executor_chunks_total" in names
+        assert "worker_busy_seconds_total" in names
+        assert "storage_columns_read_total" in names
+
+    def test_metrics_out_prometheus_text(self, tiny_binary, tmp_path):
+        import repro.obs as obs
+
+        out = tmp_path / "metrics.prom"
+        obs.reset()
+        try:
+            rc = main(["scaling", str(tiny_binary), "--threads", "1", "2",
+                       "--metrics-out", str(out)])
+        finally:
+            obs.disable()
+            obs.reset()
+        assert rc == 0
+        text = out.read_text()
+        assert "# TYPE repro_rows_scanned_total counter" in text
+        assert "repro_chunk_seconds_bucket" in text

@@ -90,6 +90,42 @@ class TestProcess:
             total = sum(ex.map_chunks(kernel, len(big), 250_000))
         assert total == big.sum()
 
+    def test_concurrent_map_calls_do_not_cross_kernels(self):
+        """Regression: the fork-kernel handoff global is guarded by a
+        lock, so concurrent map_chunks calls from different threads can
+        never fork children holding the other call's kernel."""
+        import threading
+
+        a = np.arange(60_000, dtype=np.int64)
+        b = np.arange(60_000, dtype=np.int64) * 3
+        results: dict[str, int] = {}
+        errors: list[BaseException] = []
+
+        def run(name: str, arr: np.ndarray) -> None:
+            def kernel(sl: slice) -> int:
+                return int(arr[sl].sum())
+
+            try:
+                with ProcessExecutor(2) as ex:
+                    for _ in range(3):
+                        results[name] = sum(
+                            ex.map_chunks(kernel, len(arr), 15_000)
+                        )
+            except BaseException as exc:  # noqa: BLE001 - reported below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=run, args=("a", a)),
+            threading.Thread(target=run, args=("b", b)),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert results["a"] == int(a.sum())
+        assert results["b"] == int(b.sum())
+
 
 class TestChunkSizing:
     def test_default_chunk_rows_scales_with_workers(self):

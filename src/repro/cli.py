@@ -86,7 +86,21 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="write bulky columns with the compression codecs",
     )
+    c.add_argument(
+        "--no-checkpoint",
+        action="store_true",
+        help="skip the crash-resume journal (slightly faster, not resumable)",
+    )
     add_metrics_out(c)
+
+    ve = sub.add_parser(
+        "verify",
+        help="check a dataset's files against the manifest (sizes + CRC32)",
+    )
+    ve.add_argument("dataset", type=Path)
+    ve.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
 
     st = sub.add_parser("stats", help="print Table I dataset statistics")
     st.add_argument("dataset", type=Path)
@@ -196,6 +210,7 @@ def _cmd_convert(args) -> int:
         args.out_dir,
         verify_checksums=args.verify_checksums,
         compress=args.compress,
+        checkpoint=not args.no_checkpoint,
     )
     logger.info(
         "converted %s events / %s mentions in %.1fs -> %s",
@@ -210,6 +225,17 @@ def _cmd_convert(args) -> int:
         )
     )
     return 0
+
+
+def _cmd_verify(args) -> int:
+    from repro.storage.verify import verify_dataset
+
+    report = verify_dataset(args.dataset)
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2))
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
 
 
 def _cmd_stats(args) -> int:
@@ -360,6 +386,16 @@ def main(argv: list[str] | None = None) -> int:
     setup_logging(-1 if args.quiet else args.verbose)
     np.seterr(all="warn")
 
+    from repro.faults import FaultInjector, FaultPlan, install as _install_faults
+
+    fault_plan = FaultPlan.from_env()
+    if fault_plan is not None:
+        _install_faults(FaultInjector(fault_plan))
+        logger.warning(
+            "fault injection active (REPRO_FAULTS): %d spec(s), seed %d",
+            len(fault_plan.specs), fault_plan.seed,
+        )
+
     metrics_out: Path | None = getattr(args, "metrics_out", None)
     if metrics_out is not None:
         import repro.obs as obs
@@ -368,6 +404,7 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "synth": _cmd_synth,
         "convert": _cmd_convert,
+        "verify": _cmd_verify,
         "stats": _cmd_stats,
         "tables": _cmd_tables,
         "scaling": _cmd_scaling,

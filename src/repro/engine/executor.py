@@ -18,17 +18,31 @@ is enabled (:mod:`repro.obs`) or a :class:`ProfileCollector` is passed,
 every chunk's wall time and worker identity is recorded and fed to the
 span/metrics layer.  With observability off and no collector, the cost
 is a single flag check per map call.
+
+Fault tolerance: chunks are pure functions of their row range, so every
+recovery is a re-execution.  A :class:`ChunkRetryPolicy` retries a
+chunk whose kernel raised a transient error; :class:`ProcessExecutor`
+additionally detects dead workers (a fork child that segfaulted or was
+OOM-killed), re-dispatches their in-flight chunk to a fresh worker, and
+can duplicate chunks that straggle past a deadline (first result wins).
+All of it is off the hot path: with no retry policy and no fault
+injector installed, kernels run exactly as before.
 """
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
+import multiprocessing.connection as _mpconn
 import os
+import pickle
 import threading
 import time
 from dataclasses import dataclass
 from typing import Callable, Sequence, TypeVar
 
+from repro.faults import injector as _faults
+from repro.faults.injector import TransientFault
 from repro.obs import metrics as _metrics
 from repro.obs import state as _obs
 from repro.obs.profile import ProfileCollector
@@ -42,11 +56,33 @@ __all__ = [
     "SerialExecutor",
     "ThreadExecutor",
     "ProcessExecutor",
+    "ChunkRetryPolicy",
     "TimedResult",
     "default_chunk_rows",
 ]
 
 T = TypeVar("T")
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass(frozen=True, slots=True)
+class ChunkRetryPolicy:
+    """Bounded re-execution of chunks whose kernel raised transiently.
+
+    Chunk kernels are pure reads over immutable columns, so re-running
+    one is always safe.  ``retry_on`` defaults to injected transient
+    faults; callers running kernels that touch flaky media can widen it
+    (e.g. to ``(OSError,)``).
+    """
+
+    max_attempts: int = 3
+    retry_on: tuple[type[BaseException], ...] = (TransientFault,)
+    backoff_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
 
 
 def default_chunk_rows(n_rows: int, n_workers: int) -> int:
@@ -68,6 +104,45 @@ class Executor:
     """Base class; subclasses implement :meth:`_run`."""
 
     n_workers: int = 1
+    #: Optional per-chunk retry policy (set by subclass constructors).
+    retry: ChunkRetryPolicy | None = None
+
+    def _maybe_resilient(
+        self, kernel: Callable[[slice], T]
+    ) -> Callable[[slice], T]:
+        """Wrap ``kernel`` with the fault point + retry loop when needed.
+
+        The wrapper is applied only when a retry policy is set or a
+        fault injector targets ``executor.chunk`` — otherwise the
+        caller's kernel passes through untouched and the map hot path
+        costs one attribute check.
+        """
+        policy = self.retry
+        if policy is None:
+            if not _faults.site_active("executor.chunk"):
+                return kernel
+            policy = ChunkRetryPolicy()
+        name = type(self).__name__
+
+        def resilient(sl: slice) -> T:
+            attempt = 0
+            while True:
+                try:
+                    _faults.fault_point(
+                        "executor.chunk",
+                        key=f"{sl.start}:{sl.stop}",
+                        attempt=attempt,
+                    )
+                    return kernel(sl)
+                except policy.retry_on:
+                    attempt += 1
+                    if attempt >= policy.max_attempts:
+                        raise
+                    _metrics.counter("chunk_retries_total", executor=name).inc()
+                    if policy.backoff_s:
+                        time.sleep(policy.backoff_s * attempt)
+
+        return resilient
 
     def _plan(self, n_rows: int, chunk_rows: int | None) -> list[slice]:
         """Chunk ``[0, n_rows)`` into the slices one map call executes."""
@@ -120,6 +195,7 @@ class Executor:
         The fast path — observability off, no collector — dispatches
         straight to :meth:`_run` with the caller's kernel untouched.
         """
+        kernel = self._maybe_resilient(kernel)
         if profile is None and not _obs._enabled:
             return self._run(kernel, chunks)
         collector = profile if profile is not None else ProfileCollector()
@@ -206,9 +282,15 @@ class SerialExecutor(Executor):
 class ThreadExecutor(Executor):
     """A persistent thread team running chunks concurrently."""
 
-    def __init__(self, n_threads: int | None = None, schedule: str = "dynamic") -> None:
+    def __init__(
+        self,
+        n_threads: int | None = None,
+        schedule: str = "dynamic",
+        retry: ChunkRetryPolicy | None = None,
+    ) -> None:
         self.n_workers = n_threads or (os.cpu_count() or 1)
         self.schedule = schedule
+        self.retry = retry
         self._team: ThreadTeam | None = None
 
     def _ensure_team(self) -> ThreadTeam:
@@ -241,6 +323,42 @@ def _invoke_forked(sl: slice):
     return kernel(sl)
 
 
+def _pool_worker(wid: int, task_q, result_q) -> None:
+    """Fork-worker loop: pull (idx, start, stop, base_attempt) tasks,
+    run the fork-inherited kernel, ship results back.
+
+    Every task is bracketed by a ``start`` message and a ``done`` /
+    ``error`` message, so the parent always knows which chunk an
+    abruptly-dead worker was holding.  ``base_attempt`` carries the
+    attempt count a previous (crashed) worker already consumed, keeping
+    deterministic fail-after-N fault semantics across process
+    boundaries.
+    """
+    while True:
+        task = task_q.get()
+        if task is None:
+            return
+        idx, start, stop, base_attempt = task
+        _faults.set_base_attempt(base_attempt)
+        result_q.put(("start", wid, idx, None))
+        try:
+            payload = _invoke_forked(slice(start, stop))
+        except BaseException as exc:  # noqa: BLE001 - shipped to the parent
+            try:
+                pickle.dumps(exc)
+            except Exception:
+                exc = RuntimeError(f"{type(exc).__name__}: {exc}")
+            result_q.put(("error", wid, idx, exc))
+            continue
+        try:
+            result_q.put(("done", wid, idx, payload))
+        except Exception as exc:  # unpicklable partial
+            result_q.put(
+                ("error", wid, idx,
+                 RuntimeError(f"unpicklable chunk result: {exc!r}"))
+            )
+
+
 @dataclass(slots=True)
 class _ForkChunk:
     """A chunk result measured inside a forked worker (pickled back)."""
@@ -261,10 +379,23 @@ class ProcessExecutor(Executor):
     read-only columns work; only the *partials* are pickled back.  Pool
     setup cost is intentionally included — it is precisely the overhead
     the thread-vs-process ablation quantifies.
+
+    Unlike ``multiprocessing.Pool`` (which deadlocks if a worker dies
+    mid-task), the pool is supervised: a dead worker's in-flight chunk
+    is re-dispatched to a fresh fork, and with ``straggler_deadline_s``
+    set, a chunk running past the deadline is duplicated onto another
+    worker — whichever copy finishes first wins.
     """
 
-    def __init__(self, n_workers: int | None = None) -> None:
+    def __init__(
+        self,
+        n_workers: int | None = None,
+        retry: ChunkRetryPolicy | None = None,
+        straggler_deadline_s: float | None = None,
+    ) -> None:
         self.n_workers = n_workers or (os.cpu_count() or 1)
+        self.retry = retry
+        self.straggler_deadline_s = straggler_deadline_s
         if multiprocessing.get_start_method(allow_none=True) not in (None, "fork"):
             raise RuntimeError("ProcessExecutor requires the fork start method")
 
@@ -299,11 +430,131 @@ class ProcessExecutor(Executor):
         return out
 
     def _run(self, kernel, chunks):
-        ctx = multiprocessing.get_context("fork")
+        chunks = list(chunks)
+        if not chunks:
+            return []
         with _FORK_LOCK:
             _FORK_KERNEL[0] = kernel
             try:
-                with ctx.Pool(self.n_workers) as pool:
-                    return pool.map(_invoke_forked, list(chunks))
+                return self._run_pool(chunks)
             finally:
                 _FORK_KERNEL[0] = None
+
+    def _run_pool(self, chunks: list[slice]) -> list:
+        """Supervised fork pool: dispatch all chunks, collect results,
+        replace dead workers, duplicate stragglers."""
+        ctx = multiprocessing.get_context("fork")
+        n = len(chunks)
+        n_workers = max(1, min(self.n_workers, n))
+        # SimpleQueue (not Queue): puts pickle synchronously in the
+        # sender, so a worker can catch its own serialization failures,
+        # and there is no feeder thread to lose messages.
+        task_q = ctx.SimpleQueue()
+        result_q = ctx.SimpleQueue()
+        results: list = [None] * n
+        have = [False] * n
+        dispatches = [0] * n
+        in_flight: dict[int, tuple[int, float]] = {}  # wid -> (idx, started)
+        workers: dict[int, multiprocessing.Process] = {}
+        relaunched: set[int] = set()
+        next_wid = 0
+        respawns = 0
+        respawn_cap = max(4, 2 * n_workers)
+        error: BaseException | None = None
+
+        def spawn() -> None:
+            nonlocal next_wid
+            wid = next_wid
+            next_wid += 1
+            p = ctx.Process(
+                target=_pool_worker, args=(wid, task_q, result_q), daemon=True
+            )
+            p.start()
+            workers[wid] = p
+
+        def dispatch(idx: int) -> None:
+            # base_attempt = prior dispatches, so a chunk that crashed a
+            # worker k times re-runs at attempt k (fail_attempts-aware).
+            sl = chunks[idx]
+            task_q.put((idx, sl.start, sl.stop, dispatches[idx]))
+            dispatches[idx] += 1
+
+        for _ in range(n_workers):
+            spawn()
+        for idx in range(n):
+            dispatch(idx)
+
+        try:
+            while not all(have) and error is None:
+                # Wake on a result message OR a worker death.
+                handles = [result_q._reader]
+                handles.extend(p.sentinel for p in workers.values())
+                _mpconn.wait(handles, timeout=0.1)
+                while not result_q.empty():
+                    msg, wid, idx, payload = result_q.get()
+                    if msg == "start":
+                        in_flight[wid] = (idx, time.monotonic())
+                    elif msg == "done":
+                        in_flight.pop(wid, None)
+                        if not have[idx]:  # duplicates: first result wins
+                            have[idx] = True
+                            results[idx] = payload
+                    else:  # "error"
+                        in_flight.pop(wid, None)
+                        if error is None and not have[idx]:
+                            error = payload
+                if error is not None:
+                    break
+                for wid, p in list(workers.items()):
+                    if p.exitcode is None:
+                        continue
+                    del workers[wid]
+                    held = in_flight.pop(wid, None)
+                    _metrics.counter("executor_workers_died_total").inc()
+                    logger.warning(
+                        "fork worker %d died (exit %s)%s",
+                        wid, p.exitcode,
+                        f" holding chunk {held[0]}" if held else "",
+                    )
+                    if held is not None and not have[held[0]]:
+                        _metrics.counter("chunks_redispatched_total").inc()
+                        dispatch(held[0])
+                    if all(have):
+                        break
+                    if respawns >= respawn_cap:
+                        error = RuntimeError(
+                            f"ProcessExecutor: gave up after {respawns} "
+                            "worker deaths"
+                        )
+                        break
+                    respawns += 1
+                    spawn()
+                if self.straggler_deadline_s is not None and error is None:
+                    now = time.monotonic()
+                    for wid, (idx, t0) in list(in_flight.items()):
+                        if have[idx] or idx in relaunched:
+                            continue
+                        if now - t0 > self.straggler_deadline_s:
+                            relaunched.add(idx)
+                            _metrics.counter("stragglers_relaunched_total").inc()
+                            logger.warning(
+                                "chunk %d straggling on worker %d "
+                                "(%.2fs > %.2fs); duplicating",
+                                idx, wid, now - t0, self.straggler_deadline_s,
+                            )
+                            dispatch(idx)
+        finally:
+            for _ in workers:
+                task_q.put(None)
+            join_by = time.monotonic() + 5.0
+            for p in workers.values():
+                p.join(max(0.0, join_by - time.monotonic()))
+            for p in workers.values():
+                if p.exitcode is None:
+                    p.terminate()
+                    p.join(1.0)
+            task_q.close()
+            result_q.close()
+        if error is not None:
+            raise error
+        return results

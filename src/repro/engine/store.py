@@ -16,18 +16,22 @@ or constructed directly from arrays (the synthetic fast path).
 
 from __future__ import annotations
 
+import logging
 from pathlib import Path
 
 import numpy as np
 
 from repro.gdelt.codes import COUNTRIES, source_country
 from repro.gdelt.time_util import intervals_to_quarters
+from repro.obs import metrics as _metrics
 from repro.storage.columns import StringDictionary
 from repro.storage.format import StorageError
 from repro.storage.index import aligned_group_bounds, sort_permutation
 from repro.storage.reader import DatasetReader
 
 __all__ = ["GdeltStore"]
+
+logger = logging.getLogger(__name__)
 
 #: FIPS → roster index, shared by every store.
 _ROSTER_POS = {c.fips: i for i, c in enumerate(COUNTRIES)}
@@ -66,18 +70,35 @@ class GdeltStore:
         ``mode="memory"`` (default) loads columns into resident arrays,
         matching the paper's load-once-then-query usage; ``"mmap"`` maps
         them lazily.
+
+        The join indexes are redundant with the tables, so a corrupt
+        index file (CRC32 mismatch) degrades gracefully: the store
+        rebuilds the permutation and boundaries from the key columns
+        instead of failing to open.
         """
         reader = DatasetReader(Path(path), mode=mode)
         events = reader.table_arrays("events")
         mentions = reader.table_arrays("mentions")
+        try:
+            perm = reader.index("mentions_by_event")
+            ev_lo = reader.index("mentions_ev_lo")
+            ev_hi = reader.index("mentions_ev_hi")
+        except StorageError as exc:
+            logger.warning("index load failed (%s); rebuilding from tables", exc)
+            _metrics.counter("storage_index_rebuilds_total").inc()
+            perm = sort_permutation(mentions["GlobalEventID"])
+            sorted_eids = np.asarray(mentions["GlobalEventID"])[perm]
+            bounds = aligned_group_bounds(events["GlobalEventID"], sorted_eids)
+            ev_lo = bounds[:, 0].astype(np.int64)
+            ev_hi = bounds[:, 1].astype(np.int64)
         return cls(
             events=events,
             mentions=mentions,
             sources=reader.dictionary("sources"),
             countries=reader.dictionary("countries"),
-            mentions_by_event=reader.index("mentions_by_event"),
-            ev_lo=reader.index("mentions_ev_lo"),
-            ev_hi=reader.index("mentions_ev_hi"),
+            mentions_by_event=perm,
+            ev_lo=ev_lo,
+            ev_hi=ev_hi,
             reader=reader,
         )
 

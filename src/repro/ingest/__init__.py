@@ -12,9 +12,10 @@ in-memory synthetic dataset straight to the binary format (or to a live
 store), bypassing TSV — used by benchmarks that do not measure ingest.
 """
 
-from repro.ingest.fetch import LocalFetcher, FetchResult
+from repro.ingest.fetch import LocalFetcher, FetchResult, RetryPolicy, RetryingFetcher
 from repro.ingest.validate import ProblemReport
 from repro.ingest.accumulate import EventAccumulator, MentionAccumulator
+from repro.ingest.checkpoint import CheckpointJournal
 from repro.ingest.convert import convert_raw_to_binary, ConversionResult
 from repro.ingest.direct import dataset_to_binary, dataset_to_arrays
 from repro.ingest.stream import LiveFollower, PollResult
@@ -22,6 +23,9 @@ from repro.ingest.stream import LiveFollower, PollResult
 __all__ = [
     "LocalFetcher",
     "FetchResult",
+    "RetryPolicy",
+    "RetryingFetcher",
+    "CheckpointJournal",
     "ProblemReport",
     "EventAccumulator",
     "MentionAccumulator",

@@ -28,10 +28,12 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.faults.injector import fault_point
 from repro.gdelt.csv_io import event_from_row, mention_from_row, open_chunk_text
 from repro.gdelt.masterlist import EXPORT_KIND, parse_master_list
 from repro.ingest.accumulate import EventAccumulator, MentionAccumulator
-from repro.ingest.fetch import LocalFetcher
+from repro.ingest.checkpoint import CheckpointJournal
+from repro.ingest.fetch import LocalFetcher, RetryingFetcher, RetryPolicy
 from repro.ingest.validate import ProblemReport
 from repro.obs import metrics as _metrics
 from repro.obs import state as _obs
@@ -69,11 +71,54 @@ COMPRESSED_MENTION_CODECS = {
 }
 
 
+def _parse_chunk_lines(
+    kind: str,
+    lines,
+    chunk_name: str,
+    events_acc: EventAccumulator,
+    mentions_acc: MentionAccumulator,
+    report: ProblemReport,
+) -> int:
+    """Validate and accumulate one chunk's rows; returns rows kept.
+
+    Shared by the live parse path and checkpoint replay so both produce
+    identical accumulator, dictionary, and problem-report state.
+    """
+    rows = 0
+    if kind == EXPORT_KIND:
+        for line in lines:
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            try:
+                e = event_from_row(line.split("\t"))
+            except (ValueError, IndexError) as exc:
+                report.note("bad_event_rows", f"{chunk_name}: {exc}")
+                continue
+            events_acc.add(e, report)
+            rows += 1
+    else:
+        for line in lines:
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            try:
+                m = mention_from_row(line.split("\t"))
+            except (ValueError, IndexError) as exc:
+                report.note("bad_mention_rows", f"{chunk_name}: {exc}")
+                continue
+            mentions_acc.add(m, report)
+            rows += 1
+    return rows
+
+
 def convert_raw_to_binary(
     raw_dir: Path,
     out_dir: Path,
     verify_checksums: bool = False,
     compress: bool = False,
+    checkpoint: bool = True,
+    retry_policy: RetryPolicy | None = None,
 ) -> ConversionResult:
     """Run the full preprocessing pipeline.
 
@@ -84,6 +129,13 @@ def convert_raw_to_binary(
         verify_checksums: md5-verify each archive against the master list.
         compress: write bulky columns with the compression codecs (the
             dataset loads identically; it just cannot be fully mmap-ed).
+        checkpoint: journal each parsed chunk so a killed conversion
+            resumes from the last committed chunk (see
+            :mod:`repro.ingest.checkpoint`).  The journal lives inside
+            ``out_dir`` and is removed once the dataset is written.
+        retry_policy: fetch retry/backoff policy (default
+            :class:`RetryPolicy`); archives that keep failing are
+            quarantined, not fatal.
 
     Returns:
         :class:`ConversionResult` with the Table II problem report.
@@ -98,53 +150,51 @@ def convert_raw_to_binary(
     for line in parsed.malformed_lines:
         report.note("malformed_master_entries", line[:120])
 
-    fetcher = LocalFetcher(raw_dir, verify_checksums=verify_checksums)
+    fetcher = RetryingFetcher(
+        LocalFetcher(raw_dir, verify_checksums=verify_checksums),
+        policy=retry_policy,
+    )
     chunks = sorted(parsed.chunks, key=lambda c: (c.interval, c.kind))
     logger.info("converting %d chunk archives from %s", len(chunks), raw_dir)
 
     events_acc = EventAccumulator()
     mentions_acc = MentionAccumulator()
+    journal = CheckpointJournal(out_dir) if checkpoint else None
+    resumed = 0
 
     with _span("ingest.scan_chunks", chunks=len(chunks)) as scan_sp:
         for ref in chunks:
+            name = ref.entry.url.rsplit("/", 1)[-1]
+            cached = journal.get_text(name) if journal is not None else None
+            if cached is not None:
+                _parse_chunk_lines(
+                    ref.kind, cached.split("\n"), name,
+                    events_acc, mentions_acc, report,
+                )
+                resumed += 1
+                continue
             res = fetcher.fetch(ref, report)
             if res.path is None:
-                continue
+                continue  # missing or quarantined, already recorded
             if res.checksum_ok is False:
-                report.note("corrupt_archives", f"{res.path.name}: checksum mismatch")
-                continue
+                continue  # checksum_mismatch recorded by the fetcher
             try:
                 fh = open_chunk_text(res.path)
             except (zipfile.BadZipFile, ValueError, OSError) as exc:
                 report.note("corrupt_archives", f"{res.path.name}: {exc}")
                 continue
-            rows = 0
             t0 = time.perf_counter()
             with fh:
-                if ref.kind == EXPORT_KIND:
-                    for line in fh:
-                        line = line.rstrip("\n")
-                        if not line:
-                            continue
-                        try:
-                            e = event_from_row(line.split("\t"))
-                        except (ValueError, IndexError) as exc:
-                            report.note("bad_event_rows", f"{res.path.name}: {exc}")
-                            continue
-                        events_acc.add(e, report)
-                        rows += 1
-                else:
-                    for line in fh:
-                        line = line.rstrip("\n")
-                        if not line:
-                            continue
-                        try:
-                            m = mention_from_row(line.split("\t"))
-                        except (ValueError, IndexError) as exc:
-                            report.note("bad_mention_rows", f"{res.path.name}: {exc}")
-                            continue
-                        mentions_acc.add(m, report)
-                        rows += 1
+                text = fh.read()
+            rows = _parse_chunk_lines(
+                ref.kind, text.split("\n"), name,
+                events_acc, mentions_acc, report,
+            )
+            if journal is not None:
+                journal.commit(name, text)
+            # Crash-resume test hook: the chunk is committed, the run may
+            # "die" here and must resume from the next chunk.
+            fault_point("convert.commit", key=name)
             dt = time.perf_counter() - t0
             if _obs._enabled:
                 _metrics.counter("ingest_archives_total", kind=ref.kind).inc()
@@ -155,6 +205,9 @@ def convert_raw_to_binary(
                 res.path.name, rows, dt, rows / dt if dt > 0 else 0.0,
             )
         scan_sp.set(events=len(events_acc), mentions=len(mentions_acc))
+    if resumed:
+        _metrics.counter("ingest_chunks_resumed_total").inc(resumed)
+        logger.info("resumed %d chunks from the checkpoint journal", resumed)
 
     logger.info(
         "scanned %d events / %d mentions, %d problems",
@@ -206,6 +259,8 @@ def convert_raw_to_binary(
                 "problems_total": report.total(),
             }
         )
+    if journal is not None:
+        journal.discard()
     logger.info("wrote binary dataset %s", out_dir)
     return ConversionResult(
         dataset_dir=out_dir,

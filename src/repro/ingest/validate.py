@@ -30,8 +30,13 @@ class ProblemReport:
     future_event_dates: int = 0
     bad_event_rows: int = 0
     bad_mention_rows: int = 0
-    #: Archives present but unreadable (bad zip) or failing checksum.
+    #: Archives present but unreadable (bad zip).
     corrupt_archives: int = 0
+    #: Archives whose md5 disagrees with the master-list entry.
+    checksum_mismatch: int = 0
+    #: Archives abandoned after exhausting fetch retries (permanent I/O
+    #: failures); the rest of the conversion proceeds without them.
+    quarantined_archives: int = 0
 
     #: Samples of offending inputs, capped to keep reports small.
     examples: dict[str, list[str]] = field(default_factory=dict)
@@ -53,6 +58,8 @@ class ProblemReport:
             + self.bad_event_rows
             + self.bad_mention_rows
             + self.corrupt_archives
+            + self.checksum_mismatch
+            + self.quarantined_archives
         )
 
     def as_table(self) -> list[tuple[str, int]]:
@@ -77,6 +84,8 @@ class ProblemReport:
         self.bad_event_rows += other.bad_event_rows
         self.bad_mention_rows += other.bad_mention_rows
         self.corrupt_archives += other.corrupt_archives
+        self.checksum_mismatch += other.checksum_mismatch
+        self.quarantined_archives += other.quarantined_archives
         for kind, samples in other.examples.items():
             bucket = self.examples.setdefault(kind, [])
             for s in samples:

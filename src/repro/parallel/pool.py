@@ -46,14 +46,22 @@ class ThreadTeam:
         # own worker thread, so no lock is needed.  Only accumulated
         # while observability is enabled.
         self._busy_ns = [0] * n_threads
-        self._workers = [
-            threading.Thread(
-                target=self._worker, args=(i,), name=f"team-{i}", daemon=True
-            )
-            for i in range(n_threads)
-        ]
-        for w in self._workers:
-            w.start()
+        self._workers = [self._spawn(i) for i in range(n_threads)]
+
+    def _spawn(self, index: int) -> threading.Thread:
+        w = threading.Thread(
+            target=self._worker, args=(index,), name=f"team-{index}", daemon=True
+        )
+        w.start()
+        return w
+
+    def _revive_dead(self) -> None:
+        """Replace any worker thread that has died (a kernel that killed
+        its thread must not silently shrink the team)."""
+        for i, w in enumerate(self._workers):
+            if not w.is_alive():
+                _metrics.counter("team_worker_restarts_total").inc()
+                self._workers[i] = self._spawn(i)
 
     # -- worker loop -----------------------------------------------------
 
@@ -76,6 +84,7 @@ class ThreadTeam:
                 done.release()
 
     def _submit_and_wait(self, thunks: Sequence[Callable[[], None]]) -> None:
+        self._revive_dead()
         done = threading.Semaphore(0)
         for t in thunks:
             self._tasks.put((t, done))

@@ -30,6 +30,7 @@ from repro.storage.columns import StringDictionary, encode_strings
 from repro.storage.codecs import CODECS, codec_supports, decode_column, encode_column
 from repro.storage.writer import DatasetWriter
 from repro.storage.reader import DatasetReader
+from repro.storage.verify import VerifyIssue, VerifyReport, verify_dataset
 
 __all__ = [
     "FORMAT_VERSION",
@@ -47,4 +48,7 @@ __all__ = [
     "encode_column",
     "DatasetWriter",
     "DatasetReader",
+    "VerifyIssue",
+    "VerifyReport",
+    "verify_dataset",
 ]

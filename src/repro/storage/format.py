@@ -4,6 +4,14 @@ The manifest is deliberately tiny JSON: the bulk data lives in raw
 little-endian column files whose byte size must equal
 ``rows * dtype.itemsize`` — a cheap but effective integrity check that
 catches truncated writes without checksumming gigabytes.
+
+Since format version 3 every data file additionally records its CRC32
+in the manifest (``crc32`` on columns and indexes, ``offsets_crc32`` /
+``blob_crc32`` on dictionaries).  Size checks stay the cheap always-on
+guard; checksums catch *silent* corruption (bit rot, torn writes that
+kept the length) and back the ``repro-gdelt verify`` subcommand.
+Checksum fields are optional in the schema so hand-built manifests
+without them still load — they are then simply not verifiable.
 """
 
 from __future__ import annotations
@@ -24,7 +32,7 @@ __all__ = [
     "Manifest",
 ]
 
-FORMAT_VERSION = 2
+FORMAT_VERSION = 3
 
 #: dtypes allowed in column files (little-endian, fixed width).
 ALLOWED_DTYPES = frozenset(
@@ -44,7 +52,8 @@ class ColumnMeta:
     refer to (``None`` for plain numeric columns).  ``codec`` is ``raw``
     (mmap-able fixed-width) or a compression codec from
     :mod:`repro.storage.codecs`; encoded columns record their on-disk
-    byte size in ``stored_bytes`` for integrity checking.
+    byte size in ``stored_bytes`` for integrity checking.  ``crc32`` is
+    the checksum of the on-disk bytes (``None`` = unrecorded).
     """
 
     name: str
@@ -52,6 +61,7 @@ class ColumnMeta:
     dictionary: str | None = None
     codec: str = "raw"
     stored_bytes: int | None = None
+    crc32: int | None = None
 
     def __post_init__(self) -> None:
         if self.dtype not in ALLOWED_DTYPES:
@@ -88,6 +98,8 @@ class DictionaryMeta:
 
     name: str
     size: int
+    offsets_crc32: int | None = None
+    blob_crc32: int | None = None
 
 
 @dataclass(slots=True)
@@ -99,6 +111,7 @@ class IndexMeta:
     kind: str  # "permutation" | "boundaries"
     dtype: str
     length: int
+    crc32: int | None = None
 
 
 @dataclass(slots=True)

@@ -5,10 +5,21 @@ is the buffer pool; the paper's engine similarly loads tables into the
 node's large memory once).  ``mode="memory"`` copies columns into
 process-private arrays, which is what the benchmark harness uses for
 stable timings.
+
+Integrity: column byte sizes are validated at open (cheap, always on).
+Manifest CRC32s are verified where the bytes are in hand anyway —
+compressed columns, dictionaries, and index arrays — so silent
+corruption of the small-but-critical files is caught at load time;
+corrupt *index* files degrade gracefully (the store rebuilds them)
+while corrupt table data raises.  ``verify_checksums=True`` (or the
+``repro-gdelt verify`` subcommand) checksums everything, including raw
+columns.
 """
 
 from __future__ import annotations
 
+import logging
+import zlib
 from pathlib import Path
 
 import numpy as np
@@ -29,16 +40,30 @@ from repro.storage.format import (
 
 __all__ = ["DatasetReader"]
 
+logger = logging.getLogger(__name__)
+
+
+def _note_corrupt(path: Path, kind: str, detail: str) -> StorageError:
+    """Count a corrupt file (unconditionally — corruption is never noise)
+    and build the error to raise."""
+    _metrics.counter("storage_corrupt_files_total", kind=kind).inc()
+    logger.warning("corrupt %s file %s: %s", kind, path, detail)
+    return StorageError(f"{path}: {detail}")
+
 
 class DatasetReader:
     """Read-only access to one binary dataset directory."""
 
-    def __init__(self, root: Path, mode: str = "mmap") -> None:
+    def __init__(
+        self, root: Path, mode: str = "mmap", verify_checksums: bool = False
+    ) -> None:
         """Open a dataset.
 
         Args:
             root: dataset directory.
             mode: ``"mmap"`` (default) or ``"memory"``.
+            verify_checksums: verify every file's CRC32 against the
+                manifest at open time (full read of the dataset).
 
         Raises:
             StorageError: if the manifest is missing/invalid or any column
@@ -55,6 +80,15 @@ class DatasetReader:
             mpath.read_text(encoding="utf-8")
         )
         self._validate_sizes()
+        if verify_checksums:
+            from repro.storage.verify import verify_dataset
+
+            report = verify_dataset(self.root)
+            if not report.ok:
+                raise StorageError(
+                    f"{self.root}: checksum verification failed — "
+                    + "; ".join(str(i) for i in report.issues)
+                )
 
     def _validate_sizes(self) -> None:
         for t in self.manifest.tables:
@@ -85,7 +119,8 @@ class DatasetReader:
     def column(self, table: str, name: str) -> np.ndarray:
         """Load one column (memmap view or in-memory copy per ``mode``).
 
-        Compressed columns decode into resident arrays in either mode.
+        Compressed columns decode into resident arrays in either mode;
+        their stored bytes are CRC-checked before decoding.
         """
         t = self.manifest.table(table)
         c = t.column(name)
@@ -93,7 +128,10 @@ class DatasetReader:
         if c.codec != "raw":
             from repro.storage.codecs import decode_column
 
-            out = decode_column(path.read_bytes(), c.codec, c.np_dtype(), t.rows)
+            payload = path.read_bytes()
+            if c.crc32 is not None and zlib.crc32(payload) != c.crc32:
+                raise _note_corrupt(path, "column", "CRC32 mismatch")
+            out = decode_column(payload, c.codec, c.np_dtype(), t.rows)
         elif self.mode == "mmap":
             out = np.memmap(path, dtype=c.np_dtype(), mode="r", shape=(t.rows,))
         else:
@@ -117,26 +155,44 @@ class DatasetReader:
         return arrays
 
     def dictionary(self, name: str) -> StringDictionary:
-        """Load a shared string dictionary."""
+        """Load a shared string dictionary (CRC-checked)."""
         meta = self.manifest.dictionary(name)
-        offsets = np.fromfile(dict_offsets_path(self.root, name), dtype="<i8")
-        blob = np.fromfile(dict_blob_path(self.root, name), dtype=np.uint8)
-        if len(offsets) != meta.size + 1:
+        opath = dict_offsets_path(self.root, name)
+        bpath = dict_blob_path(self.root, name)
+        obytes = opath.read_bytes()
+        bbytes = bpath.read_bytes()
+        # Size before checksum: truncation is the cheap-to-name failure.
+        if len(obytes) // 8 != meta.size + 1:
             raise StorageError(
-                f"dictionary {name}: {len(offsets) - 1} entries, "
+                f"dictionary {name}: {len(obytes) // 8 - 1} entries, "
                 f"manifest says {meta.size}"
             )
+        if meta.offsets_crc32 is not None and zlib.crc32(obytes) != meta.offsets_crc32:
+            raise _note_corrupt(opath, "dictionary", "CRC32 mismatch")
+        if meta.blob_crc32 is not None and zlib.crc32(bbytes) != meta.blob_crc32:
+            raise _note_corrupt(bpath, "dictionary", "CRC32 mismatch")
+        offsets = np.frombuffer(obytes, dtype="<i8")
+        blob = np.frombuffer(bbytes, dtype=np.uint8)
         return StringDictionary(offsets, blob)
 
     def index(self, name: str) -> np.ndarray:
-        """Load an index array."""
+        """Load an index array (CRC-checked; corrupt indexes raise and the
+        store rebuilds them from the tables)."""
         meta = self.manifest.index(name)
         path = index_path(self.root, name)
-        arr = np.fromfile(path, dtype=np.dtype(meta.dtype))
-        if len(arr) != meta.length:
-            raise StorageError(
-                f"index {name}: {len(arr)} entries, manifest says {meta.length}"
+        data = path.read_bytes()
+        itemsize = np.dtype(meta.dtype).itemsize
+        if len(data) != meta.length * itemsize:
+            raise _note_corrupt(
+                path, "index",
+                f"{len(data) // itemsize} entries, "
+                f"manifest says {meta.length}",
             )
+        if meta.crc32 is not None and zlib.crc32(data) != meta.crc32:
+            raise _note_corrupt(path, "index", "CRC32 mismatch")
+        arr = np.frombuffer(data, dtype=np.dtype(meta.dtype))
+        if self.mode == "memory":
+            return arr.copy()
         return arr
 
     def has_index(self, name: str) -> bool:

@@ -1,17 +1,22 @@
 """Dataset directory writer.
 
-Column bytes are written first; the manifest is written (and fsynced)
-last, so readers can treat the presence of a valid manifest as a commit
-record for the whole directory.
+Every data file is committed atomically: bytes go to a ``*.tmp``
+sibling first and are renamed into place, so a crashed write can never
+leave a half-written file under a final name.  The CRC32 of each file's
+bytes is recorded in the manifest as it is written.  The manifest
+itself is written (and fsynced) last, so readers can treat the presence
+of a valid manifest as a commit record for the whole directory.
 """
 
 from __future__ import annotations
 
 import os
+import zlib
 from pathlib import Path
 
 import numpy as np
 
+from repro.faults.injector import fault_point
 from repro.storage.columns import StringDictionary
 from repro.storage.format import (
     FORMAT_VERSION,
@@ -49,6 +54,34 @@ class DatasetWriter:
         self._manifest = Manifest(version=FORMAT_VERSION)
         self._finished = False
 
+    def _commit_bytes(self, path: Path, payload: bytes) -> int:
+        """Atomically write ``payload`` to ``path``; returns its CRC32."""
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        tmp.write_bytes(payload)
+        os.replace(tmp, path)
+        crc = zlib.crc32(payload)
+        fault_point(
+            "storage.write",
+            key=str(path.relative_to(self.root)),
+            path=path,
+        )
+        return crc
+
+    def _commit_array(self, path: Path, arr: np.ndarray) -> int:
+        """Atomically write a contiguous array's raw bytes; returns CRC32."""
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        arr.tofile(tmp)
+        os.replace(tmp, path)
+        crc = zlib.crc32(np.ascontiguousarray(arr).data)
+        fault_point(
+            "storage.write",
+            key=str(path.relative_to(self.root)),
+            path=path,
+        )
+        return crc
+
     def add_table(
         self,
         name: str,
@@ -84,17 +117,17 @@ class DatasetWriter:
             dtype_name = arr.dtype.name
             codec = codecs.get(col, "raw")
             path = column_path(self.root, name, col)
-            path.parent.mkdir(parents=True, exist_ok=True)
             if codec == "raw":
                 meta = ColumnMeta(
                     name=col, dtype=dtype_name, dictionary=dictionaries.get(col)
                 )
-                arr.astype(meta.np_dtype(), copy=False).tofile(path)
+                meta.crc32 = self._commit_array(
+                    path, arr.astype(meta.np_dtype(), copy=False)
+                )
             else:
                 from repro.storage.codecs import encode_column
 
                 payload = encode_column(arr, codec)
-                path.write_bytes(payload)
                 meta = ColumnMeta(
                     name=col,
                     dtype=dtype_name,
@@ -102,6 +135,7 @@ class DatasetWriter:
                     codec=codec,
                     stored_bytes=len(payload),
                 )
+                meta.crc32 = self._commit_bytes(path, payload)
             table.columns.append(meta)
         self._manifest.tables.append(table)
 
@@ -109,12 +143,17 @@ class DatasetWriter:
         """Write a shared string dictionary (offsets + blob files)."""
         self._check_open()
         offsets, blob = dictionary.arrays
-        op = dict_offsets_path(self.root, name)
-        op.parent.mkdir(parents=True, exist_ok=True)
-        offsets.astype("<i8").tofile(op)
-        blob.tofile(dict_blob_path(self.root, name))
+        o_crc = self._commit_array(
+            dict_offsets_path(self.root, name), offsets.astype("<i8")
+        )
+        b_crc = self._commit_array(dict_blob_path(self.root, name), blob)
         self._manifest.dictionaries.append(
-            DictionaryMeta(name=name, size=len(dictionary))
+            DictionaryMeta(
+                name=name,
+                size=len(dictionary),
+                offsets_crc32=o_crc,
+                blob_crc32=b_crc,
+            )
         )
 
     def add_index(
@@ -125,9 +164,7 @@ class DatasetWriter:
         if kind not in ("permutation", "boundaries"):
             raise StorageError(f"unknown index kind {kind!r}")
         data = np.ascontiguousarray(data)
-        path = index_path(self.root, name)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        data.tofile(path)
+        crc = self._commit_array(index_path(self.root, name), data)
         self._manifest.indexes.append(
             IndexMeta(
                 name=name,
@@ -135,6 +172,7 @@ class DatasetWriter:
                 kind=kind,
                 dtype=data.dtype.name,
                 length=len(data),
+                crc32=crc,
             )
         )
 

@@ -11,6 +11,7 @@ Table II benchmark can compare found-vs-planted counts exactly.
 
 from __future__ import annotations
 
+import datetime
 import random
 import zipfile
 from dataclasses import dataclass, field
@@ -18,6 +19,7 @@ from pathlib import Path
 
 from repro.gdelt.masterlist import parse_master_list
 from repro.gdelt.schema import EVENTS_SCHEMA, field_index
+from repro.gdelt.time_util import timestamp_to_datetime
 
 __all__ = ["CorruptionPlan", "CorruptionReceipt", "inject_corruption"]
 
@@ -47,16 +49,22 @@ class CorruptionReceipt:
     future_dated_event_ids: list[int] = field(default_factory=list)
 
 
-def _rewrite_events_chunk(path: Path, mutate) -> None:
-    """Apply ``mutate(rows) -> None`` to the rows of one events chunk."""
+def _rewrite_events_chunk(path: Path, mutate) -> bool:
+    """Apply ``mutate(rows) -> n_changed`` to the rows of one events chunk.
+
+    The archive is only recompressed and rewritten when ``mutate``
+    actually changed something; returns whether it did.
+    """
     with zipfile.ZipFile(path, "r") as zf:
         name = zf.namelist()[0]
         text = zf.read(name).decode("utf-8")
     rows = [line.split("\t") for line in text.splitlines() if line]
-    mutate(rows)
+    if not mutate(rows):
+        return False
     out = "\n".join("\t".join(r) for r in rows) + "\n"
     with zipfile.ZipFile(path, "w", compression=zipfile.ZIP_DEFLATED) as zf:
         zf.writestr(name, out)
+    return True
 
 
 def inject_corruption(raw_dir: Path, plan: CorruptionPlan) -> CorruptionReceipt:
@@ -113,8 +121,9 @@ def inject_corruption(raw_dir: Path, plan: CorruptionPlan) -> CorruptionReceipt:
         if need_blank == 0 and need_future == 0:
             break
 
-        def mutate(rows: list[list[str]]) -> None:
+        def mutate(rows: list[list[str]]) -> int:
             nonlocal need_blank, need_future
+            changed = 0
             idx = list(range(len(rows)))
             rng.shuffle(idx)
             for i in idx:
@@ -123,19 +132,18 @@ def inject_corruption(raw_dir: Path, plan: CorruptionPlan) -> CorruptionReceipt:
                     row[_SRC_URL] = ""
                     receipt.blanked_event_ids.append(int(row[0]))
                     need_blank -= 1
+                    changed += 1
                 elif need_future > 0:
                     # Recorded event date moved past the first-article date.
-                    import datetime as _dt
-
-                    from repro.gdelt.time_util import timestamp_to_datetime
-
                     added = timestamp_to_datetime(int(row[_DATEADDED]))
-                    future = added + _dt.timedelta(days=10)
+                    future = added + datetime.timedelta(days=10)
                     row[_DAY] = f"{future.year:04d}{future.month:02d}{future.day:02d}"
                     receipt.future_dated_event_ids.append(int(row[0]))
                     need_future -= 1
+                    changed += 1
                 else:
                     break
+            return changed
 
         _rewrite_events_chunk(path, mutate)
 

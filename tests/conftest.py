@@ -14,9 +14,28 @@ import datetime as dt
 import numpy as np
 import pytest
 
+from repro import faults
 from repro.engine import GdeltStore
 from repro.ingest.direct import dataset_to_arrays
 from repro.synth import SynthConfig, generate_dataset, tiny_config, write_raw_archives
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _env_fault_plan():
+    """Run the whole suite under REPRO_FAULTS chaos when the env asks.
+
+    CI's fault-injection job sets ``REPRO_FAULTS`` and re-runs the full
+    suite; every test must still pass, because the plan contains only
+    recoverable faults and the resilience layer is expected to absorb
+    them.
+    """
+    plan = faults.FaultPlan.from_env()
+    if plan is None:
+        yield
+        return
+    faults.install(faults.FaultInjector(plan))
+    yield
+    faults.clear()
 
 
 @pytest.fixture(scope="session")

@@ -206,5 +206,5 @@ class TestCorruptArchives:
         result = convert_raw_to_binary(
             raw, tmp_path / "db", verify_checksums=True
         )
-        assert result.report.corrupt_archives == 1
+        assert result.report.checksum_mismatch == 1
         assert result.n_mentions < raw_ds.n_articles

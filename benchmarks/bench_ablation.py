@@ -102,34 +102,57 @@ def bench_ablation_process_executor(benchmark, bench_store):
 
 def bench_ablation_time_range_sorted(benchmark, bench_store):
     """One-quarter slice via binary search on the sorted interval column."""
-    from repro.engine import Query
+    from repro.engine import result_cache
     from repro.gdelt.time_util import quarter_index_range
 
     lo, hi = quarter_index_range(10)
+    q = bench_store.query("mentions").time_range(lo, hi)
 
     def run():
-        return Query(bench_store, "mentions").time_range(lo, hi).count()
+        result_cache().invalidate()  # measure the scan, not the cache
+        return q.count()
 
-    n = benchmark(run)
-    assert n > 0
+    res = benchmark(run)
+    assert res.value > 0
 
 
 def bench_ablation_time_range_scan(benchmark, bench_store):
-    """The same slice as a full-table predicate scan."""
-    from repro.engine import Query, col
+    """The same slice as a full-table predicate scan (pruning disabled)."""
+    from repro.engine import col, result_cache
     from repro.gdelt.time_util import quarter_index_range
 
     lo, hi = quarter_index_range(10)
+    q = (
+        bench_store.query("mentions")
+        .filter((col("MentionInterval") >= lo) & (col("MentionInterval") < hi))
+        .with_pruning(False)
+    )
 
     def run():
-        return (
-            Query(bench_store, "mentions")
-            .filter((col("MentionInterval") >= lo) & (col("MentionInterval") < hi))
-            .count()
-        )
+        result_cache().invalidate()
+        return q.count()
 
-    n = benchmark(run)
-    assert n > 0
+    res = benchmark(run)
+    assert res.value > 0
+
+
+def bench_ablation_time_range_pruned(benchmark, bench_store):
+    """The same predicate scan with zone-map chunk pruning engaged."""
+    from repro.engine import col, result_cache
+    from repro.gdelt.time_util import quarter_index_range
+
+    lo, hi = quarter_index_range(10)
+    q = bench_store.query("mentions").filter(
+        (col("MentionInterval") >= lo) & (col("MentionInterval") < hi)
+    )
+
+    def run():
+        result_cache().invalidate()
+        return q.count()
+
+    res = benchmark(run)
+    assert res.value > 0
+    assert res.plan.pruning == "zone-map"
 
 
 # --- 7. column compression: space vs scan-time trade-off ------------------------

@@ -20,6 +20,7 @@ import pytest
 
 from repro.engine import GdeltStore
 from repro.ingest.direct import dataset_to_binary
+from repro.storage.format import FORMAT_VERSION, StorageError
 from repro.synth import calibrated_config, generate_dataset, small_config
 
 BENCH_DIR = Path(__file__).parent
@@ -36,11 +37,21 @@ def bench_store() -> GdeltStore:
     """The benchmark corpus, built (and disk-cached) via the binary format."""
     preset = _preset()
     cfg = {"small": small_config, "calibrated": calibrated_config}[preset]()
-    cache = CACHE_DIR / f"{preset}-seed{cfg.seed}"
+    # The format version is part of the cache key: a cache written by an
+    # older writer is simply abandoned, never half-trusted.
+    cache = CACHE_DIR / f"{preset}-seed{cfg.seed}-v{FORMAT_VERSION}"
     if not (cache / "manifest.json").exists():
         ds = generate_dataset(cfg)
         dataset_to_binary(ds, cache, include_urls=True)
-    return GdeltStore.open(cache, mode="memory")
+    try:
+        return GdeltStore.open(cache, mode="memory")
+    except StorageError:
+        # Unreadable (corrupt / interrupted build): rebuild once.
+        import shutil
+
+        shutil.rmtree(cache, ignore_errors=True)
+        dataset_to_binary(generate_dataset(cfg), cache, include_urls=True)
+        return GdeltStore.open(cache, mode="memory")
 
 
 @pytest.fixture(scope="session")

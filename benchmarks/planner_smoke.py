@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""CI smoke check for the query planner.
+
+Builds a small synthetic store, runs a selective aggregated query with
+and without zone-map pruning, and asserts the planner's contract:
+
+* pruning engages (>0 chunks skipped) and results are identical;
+* the pruned run is materially faster (>= 3x on the selective filter);
+* a repeated identical query is served from the result cache with a
+  byte-identical value.
+
+Emits ``benchmarks/out/BENCH_planner.json`` with the measured numbers.
+
+Run:  PYTHONPATH=src python benchmarks/planner_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.engine import GdeltStore, col, result_cache
+from repro.gdelt.time_util import quarter_index_range
+from repro.ingest.direct import dataset_to_arrays
+from repro.synth import generate_dataset, small_config
+
+OUT = Path(__file__).parent / "out" / "BENCH_planner.json"
+ZONE_CHUNK_ROWS = 4_096
+#: Tile the small corpus's mentions this many times: a ~1.8M-row table
+#: is large enough that scan cost dominates fixed per-query overhead,
+#: while staying seconds-cheap to build (no large synth run in CI).
+TILE = 12
+REPS = 9
+
+
+def best_of(fn, reps: int = REPS) -> float:
+    best = float("inf")
+    for _ in range(reps):
+        result_cache().invalidate()
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def main() -> int:
+    print("building small synthetic store ...")
+    events, mentions, dicts = dataset_to_arrays(generate_dataset(small_config()))
+    mentions = {c: np.tile(np.asarray(a), TILE) for c, a in mentions.items()}
+    store = GdeltStore.from_arrays(
+        events, mentions, dicts, zone_chunk_rows=ZONE_CHUNK_ROWS
+    )
+    print(f"mentions table: {store.n_mentions:,} rows (tiled x{TILE})")
+
+    # A sub-quarter window of the sorted capture column — the selective
+    # filter zone maps were made for.
+    lo, hi = quarter_index_range(10)
+    hi = lo + max(1, (hi - lo) // 8)
+    pred = (col("MentionInterval") >= lo) & (col("MentionInterval") < hi)
+    pruned_q = store.query("mentions").filter(pred)
+    unpruned_q = pruned_q.with_pruning(False)
+
+    # Identical results, with and without pruning.
+    res = pruned_q.count()
+    base = unpruned_q.count()
+    assert res.value == base.value > 0, (res.value, base.value)
+    gp = pruned_q.group_by("Quarter").count()
+    gb = unpruned_q.group_by("Quarter").count()
+    assert np.array_equal(gp.value, gb.value)
+
+    plan = res.plan
+    assert plan.pruning == "zone-map"
+    assert plan.n_chunks_pruned > 0, "pruning did not engage"
+    print(
+        f"pruning: {plan.n_chunks_pruned}/{plan.n_chunks_total} chunks skipped, "
+        f"{plan.rows_planned:,}/{plan.rows_total:,} rows scanned"
+    )
+
+    # Result cache: second identical query is a hit, byte-identical.
+    result_cache().invalidate()
+    first = pruned_q.group_by("Quarter").count()
+    second = pruned_q.group_by("Quarter").count()
+    assert second.plan.cache_status == "hit"
+    assert result_cache().hits > 0
+    assert first.value.tobytes() == second.value.tobytes()
+    print(f"result cache: hit on repeat, {result_cache().stats()}")
+
+    # Speedup of the pruned scan over the forced full scan.
+    pruned_gq = pruned_q.group_by("Quarter")
+    unpruned_gq = unpruned_q.group_by("Quarter")
+    t_pruned = best_of(lambda: pruned_gq.sum("Delay"))
+    t_full = best_of(lambda: unpruned_gq.sum("Delay"))
+    speedup = t_full / t_pruned if t_pruned > 0 else float("inf")
+    print(
+        f"grouped sum over the window: pruned {t_pruned * 1e3:.2f} ms, "
+        f"full scan {t_full * 1e3:.2f} ms, speedup {speedup:.1f}x"
+    )
+    assert speedup >= 3.0, f"expected >=3x speedup, got {speedup:.2f}x"
+
+    OUT.parent.mkdir(exist_ok=True)
+    OUT.write_text(
+        json.dumps(
+            {
+                "bench": "planner_smoke",
+                "zone_chunk_rows": ZONE_CHUNK_ROWS,
+                "n_mentions": store.n_mentions,
+                "n_chunks_total": plan.n_chunks_total,
+                "n_chunks_pruned": plan.n_chunks_pruned,
+                "rows_scanned": plan.rows_planned,
+                "rows_total": plan.rows_total,
+                "pruned_seconds": t_pruned,
+                "full_scan_seconds": t_full,
+                "speedup": speedup,
+                "cache": result_cache().stats(),
+            },
+            indent=2,
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+    print(f"wrote {OUT}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

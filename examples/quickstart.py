@@ -47,17 +47,21 @@ def main() -> None:
     for mentions_count, url in analysis.top_events(store, 5):
         print(f"  {mentions_count:>6,}  {url}")
 
-    # 5. The expression API: how many articles broke the 24-hour cycle
-    #    with high extraction confidence?
+    # 5. The query API: how many articles broke the 24-hour cycle
+    #    with high extraction confidence?  ``store.query`` terminals
+    #    return a QueryResult whose .plan shows what the planner did.
     q = (
-        engine.Query(store, "mentions")
+        store.query("mentions")
         .filter(engine.col("Delay") > 96)
         .filter(engine.col("Confidence") >= 80)
     )
+    n = q.count()
     print(
         f"\nhigh-confidence articles published >24h after their event: "
-        f"{q.count():,} (mean delay {q.mean('Delay'):.0f} intervals)"
+        f"{n.value:,} (mean delay {q.mean('Delay').value:.0f} intervals)"
     )
+    print(f"planner: {n.plan.pruning} pruning, "
+          f"{n.plan.n_chunks_pruned}/{n.plan.n_chunks_total} chunks skipped")
 
 
 if __name__ == "__main__":

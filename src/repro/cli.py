@@ -9,6 +9,7 @@ The future-work Python interface the paper promises, as a CLI::
     repro-gdelt tables db/                               # all paper tables
     repro-gdelt scaling db/ --threads 1 2 4              # Fig 12 measurement
     repro-gdelt profile db/ --threads 4                  # traced query profile
+    repro-gdelt explain db/ --where "Delay > 96"         # planner decisions
 
 Progress reporting goes through stdlib ``logging`` to stderr (``-v``
 for debug detail, ``-q`` for warnings only); stdout carries only the
@@ -152,6 +153,34 @@ def build_parser() -> argparse.ArgumentParser:
     cl.add_argument("--top", type=int, default=50)
     cl.add_argument("--inflation", type=float, default=2.0)
     cl.add_argument("--background-percentile", type=float, default=90.0)
+
+    ep = sub.add_parser(
+        "explain",
+        help="show the planner's execution plan (zone-map pruning, cache) "
+        "for a filtered query",
+    )
+    ep.add_argument("dataset", type=Path)
+    ep.add_argument("--table", choices=["events", "mentions"], default="mentions")
+    ep.add_argument(
+        "--where",
+        action="append",
+        default=[],
+        metavar="PRED",
+        help='predicate like "Delay > 96" or "SourceId in 1,2,3" '
+        "(repeatable; predicates are ANDed)",
+    )
+    ep.add_argument(
+        "--time-range",
+        type=int,
+        nargs=2,
+        metavar=("LO", "HI"),
+        help="restrict mentions to capture intervals [LO, HI)",
+    )
+    ep.add_argument(
+        "--run",
+        action="store_true",
+        help="also execute count() and report the value + cache status",
+    )
     return p
 
 
@@ -368,6 +397,60 @@ def _cmd_cluster(args) -> int:
     return 0
 
 
+def _parse_predicate(text: str):
+    """``"Delay > 96"`` / ``"SourceId in 1,2,3"`` -> an Expr conjunct."""
+    import re
+
+    from repro.engine import col
+
+    m = re.match(r"^\s*(\w+)\s+in\s+(.+?)\s*$", text)
+    if m:
+        raw = m.group(2).strip().strip("[]()")
+        values = [
+            float(v) if "." in v else int(v)
+            for v in (p.strip() for p in raw.split(",")) if v
+        ]
+        return col(m.group(1)).isin(values)
+    m = re.match(r"^\s*(\w+)\s*(<=|>=|==|!=|<|>)\s*(-?\d+(?:\.\d+)?)\s*$", text)
+    if not m:
+        raise ValueError(
+            f"cannot parse predicate {text!r} "
+            "(expected 'COLUMN OP NUMBER' or 'COLUMN in V1,V2,...')"
+        )
+    name, op, raw = m.groups()
+    value = float(raw) if "." in raw else int(raw)
+    c = col(name)
+    return {
+        "<": c < value, "<=": c <= value, ">": c > value,
+        ">=": c >= value, "==": c == value, "!=": c != value,
+    }[op]
+
+
+def _cmd_explain(args) -> int:
+    from repro.engine import GdeltStore
+
+    store = GdeltStore.open(args.dataset)
+    q = store.query(args.table)
+    if args.time_range:
+        q = q.time_range(*args.time_range)
+    try:
+        for pred in args.where:
+            q = q.filter(_parse_predicate(pred))
+    except ValueError as exc:
+        logger.error("%s", exc)
+        return 2
+    print(q.explain())
+    if args.run:
+        res = q.count()
+        plan = res.plan
+        print(f"count = {res.value}")
+        print(
+            f"executed: {plan.n_chunks_pruned}/{plan.n_chunks_total} chunks "
+            f"pruned, cache {plan.cache_status}"
+        )
+    return 0
+
+
 def _write_metrics(path: Path) -> None:
     import repro.obs as obs
 
@@ -411,6 +494,7 @@ def main(argv: list[str] | None = None) -> int:
         "profile": _cmd_profile,
         "wildfires": _cmd_wildfires,
         "cluster": _cmd_cluster,
+        "explain": _cmd_explain,
     }
     rc = handlers[args.command](args)
     if metrics_out is not None and rc == 0:

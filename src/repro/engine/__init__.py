@@ -18,6 +18,8 @@ Layers:
   precomputed sort index;
 * :mod:`repro.engine.executor` — serial / threaded / process execution
   of chunked kernels;
+* :mod:`repro.engine.planner` — zone-map chunk pruning and the LRU
+  plan/result cache every query terminal runs through;
 * :mod:`repro.engine.query` — the user-facing query builder and the
   paper's aggregated country query;
 * :mod:`repro.engine.baseline` — a row-at-a-time pure-Python engine
@@ -29,7 +31,14 @@ Layers:
 
 from repro.engine.store import GdeltStore
 from repro.engine.expr import col, const, Expr
-from repro.engine.query import Query, CountryQueryResult, aggregated_country_query
+from repro.engine.planner import Plan, QueryCache, ScanUnit, plan_query, result_cache
+from repro.engine.query import (
+    CountryQueryResult,
+    GroupedQuery,
+    Query,
+    QueryResult,
+    aggregated_country_query,
+)
 from repro.engine.executor import (
     SerialExecutor,
     ThreadExecutor,
@@ -49,6 +58,13 @@ __all__ = [
     "const",
     "Expr",
     "Query",
+    "QueryResult",
+    "GroupedQuery",
+    "Plan",
+    "ScanUnit",
+    "QueryCache",
+    "plan_query",
+    "result_cache",
     "CountryQueryResult",
     "aggregated_country_query",
     "SerialExecutor",

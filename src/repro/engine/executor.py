@@ -164,6 +164,17 @@ class Executor:
         """
         return self._execute(kernel, self._plan(n_rows, chunk_rows), profile)
 
+    def map_slices(
+        self,
+        kernel: Callable[[slice], T],
+        slices: Sequence[slice],
+        profile: ProfileCollector | None = None,
+    ) -> list[T]:
+        """Run ``kernel`` over an explicit (possibly non-contiguous) slice
+        list — the planner's entry point for pruned scans.  Results come
+        back in ``slices`` order."""
+        return self._execute(kernel, list(slices), profile)
+
     def map_chunks_timed(
         self,
         kernel: Callable[[slice], T],

@@ -8,6 +8,19 @@ worker threads over different chunks.
 
 Supported: comparisons (``< <= == != >= >``), arithmetic (``+ - * //``),
 boolean algebra (``& | ~``), and :meth:`Expr.isin`.
+
+Beyond evaluation, expressions support the two static analyses the
+query planner needs:
+
+* :meth:`Expr.canonical` — a stable, evaluation-order-normalized string
+  (commutative boolean operands sorted) used as a plan/result cache key;
+* :meth:`Expr.prune_chunks` — interval analysis against per-chunk
+  zone-map statistics, returning conservative ``(may_match,
+  all_match)`` chunk vectors.  ``may_match=False`` chunks are skipped
+  entirely; ``all_match=True`` chunks are scanned without evaluating
+  the filter mask.  Nodes the analysis cannot bound (arithmetic,
+  unknown ops) return ``None``, which the planner treats as
+  "may match everywhere, guaranteed nowhere" — always sound.
 """
 
 from __future__ import annotations
@@ -17,6 +30,9 @@ import numpy as np
 __all__ = ["Expr", "col", "const"]
 
 Table = dict[str, np.ndarray]
+
+#: Chunk-analysis result: (may_match, all_match) boolean vectors.
+PruneResult = "tuple[np.ndarray, np.ndarray] | None"
 
 
 class Expr:
@@ -43,6 +59,27 @@ class Expr:
 
     def _collect(self, out: set[str]) -> None:
         pass
+
+    def canonical(self) -> str:
+        """Stable cache-key form of the expression.
+
+        Structurally identical filters — including reordered operands of
+        commutative boolean/arithmetic nodes — canonicalize to the same
+        string, so ``a & b`` and ``b & a`` share one cache entry.
+        """
+        raise NotImplementedError
+
+    def prune_chunks(self, stats) -> "PruneResult":
+        """Chunk-level interval analysis against zone-map statistics.
+
+        ``stats`` exposes ``min(col)`` / ``max(col)`` / ``nulls(col)``
+        returning per-chunk arrays (or ``None`` for unmapped columns).
+        Returns ``(may_match, all_match)`` boolean arrays over the
+        chunks, or ``None`` when this node cannot be bounded.  Both
+        directions are conservative: ``may_match`` over-approximates,
+        ``all_match`` under-approximates.
+        """
+        return None
 
     # comparisons
     def __lt__(self, other):  # noqa: D105
@@ -93,6 +130,59 @@ class Expr:
         return _IsIn(self, np.asarray(list(values)))
 
 
+#: Comparison mirror: ``const OP col`` rewrites to ``col FLIP[OP] const``.
+_FLIP = {
+    np.less: np.greater,
+    np.less_equal: np.greater_equal,
+    np.greater: np.less,
+    np.greater_equal: np.less_equal,
+    np.equal: np.equal,
+    np.not_equal: np.not_equal,
+}
+
+#: Ops whose operand order is irrelevant for canonicalization.
+_COMMUTATIVE = frozenset({"logical_and", "logical_or", "add", "multiply"})
+
+
+def _scalar(v):
+    """Normalize numpy scalars so canonical forms match Python literals."""
+    return v.item() if isinstance(v, np.generic) else v
+
+
+def _cmp_chunks(op, mins, maxs, nulls, c):
+    """(may, all) chunk vectors for ``column OP c`` from chunk bounds.
+
+    Bounds of an all-null chunk are NaN; NaN comparisons are False, so
+    such chunks prune naturally for every range predicate.  ``all``
+    requires a null-free chunk because NaN rows fail every comparison
+    except ``!=`` (where null rows pass regardless of the bounds).
+    """
+    no_null = nulls == 0
+    with np.errstate(invalid="ignore"):
+        if op is np.greater:
+            return maxs > c, (mins > c) & no_null
+        if op is np.greater_equal:
+            return maxs >= c, (mins >= c) & no_null
+        if op is np.less:
+            return mins < c, (maxs < c) & no_null
+        if op is np.less_equal:
+            return mins <= c, (maxs <= c) & no_null
+        if op is np.equal:
+            return (mins <= c) & (maxs >= c), (mins == c) & (maxs == c) & no_null
+        if op is np.not_equal:
+            may = ~((mins == c) & (maxs == c)) | (nulls > 0)
+            return may, (maxs < c) | (mins > c)
+    return None
+
+
+def _col_stats(stats, name: str):
+    """(mins, maxs, nulls) for a column, or None when unmapped."""
+    mins = stats.min(name)
+    if mins is None:
+        return None
+    return mins, stats.max(name), stats.nulls(name)
+
+
 class _Col(Expr):
     def __init__(self, name: str) -> None:
         self.name = name
@@ -108,6 +198,9 @@ class _Col(Expr):
     def _collect(self, out: set[str]) -> None:
         out.add(self.name)
 
+    def canonical(self) -> str:
+        return f"col({self.name!r})"
+
     def __repr__(self) -> str:
         return f"col({self.name!r})"
 
@@ -118,6 +211,9 @@ class _Const(Expr):
 
     def _eval(self, table: Table, sl: slice) -> np.ndarray:
         return self.value
+
+    def canonical(self) -> str:
+        return f"const({_scalar(self.value)!r})"
 
     def __repr__(self) -> str:
         return f"const({self.value!r})"
@@ -134,6 +230,43 @@ class _BinOp(Expr):
         self.left._collect(out)
         self.right._collect(out)
 
+    def canonical(self) -> str:
+        name = self.op.__name__
+        a, b = self.left.canonical(), self.right.canonical()
+        if name in _COMMUTATIVE and b < a:
+            a, b = b, a
+        return f"{name}({a},{b})"
+
+    def prune_chunks(self, stats) -> "PruneResult":
+        name = self.op.__name__
+        if name in ("logical_and", "logical_or"):
+            a = self.left.prune_chunks(stats)
+            b = self.right.prune_chunks(stats)
+            if a is None and b is None:
+                return None
+            # An unbounded side may match anywhere, is proven nowhere.
+            known = a if a is not None else b
+            if a is None:
+                a = np.ones_like(known[0]), np.zeros_like(known[1])
+            if b is None:
+                b = np.ones_like(known[0]), np.zeros_like(known[1])
+            if name == "logical_and":
+                return a[0] & b[0], a[1] & b[1]
+            return a[0] | b[0], a[1] | b[1]
+        if self.op in _FLIP:
+            left, right, op = self.left, self.right, self.op
+            if isinstance(left, _Const) and isinstance(right, _Col):
+                left, right, op = right, left, _FLIP[op]
+            if isinstance(left, _Col) and isinstance(right, _Const):
+                c = _scalar(right.value)
+                if not isinstance(c, (bool, int, float)):
+                    return None
+                triple = _col_stats(stats, left.name)
+                if triple is None:
+                    return None
+                return _cmp_chunks(op, *triple, c)
+        return None
+
     def __repr__(self) -> str:
         return f"({self.left!r} {self.op.__name__} {self.right!r})"
 
@@ -148,6 +281,24 @@ class _Unary(Expr):
     def _collect(self, out: set[str]) -> None:
         self.inner._collect(out)
 
+    def __repr__(self) -> str:
+        return f"{self.op.__name__}({self.inner!r})"
+
+    def canonical(self) -> str:
+        return f"{self.op.__name__}({self.inner.canonical()})"
+
+    def prune_chunks(self, stats) -> "PruneResult":
+        if self.op is not np.logical_not:
+            return None
+        r = self.inner.prune_chunks(stats)
+        if r is None:
+            return None
+        may, all_ = r
+        # Some row fails the inner predicate iff not all rows pass it;
+        # all rows fail it iff none may pass it.  Conservativeness flips
+        # with the negation, which is why both directions are tracked.
+        return ~all_, ~may
+
 
 class _IsIn(Expr):
     def __init__(self, inner: Expr, values: np.ndarray) -> None:
@@ -160,6 +311,35 @@ class _IsIn(Expr):
 
     def _collect(self, out: set[str]) -> None:
         self.inner._collect(out)
+
+    def __repr__(self) -> str:
+        return f"{self.inner!r}.isin({self.values.tolist()!r})"
+
+    def canonical(self) -> str:
+        return f"isin({self.inner.canonical()},{self.values.tolist()!r})"
+
+    def prune_chunks(self, stats) -> "PruneResult":
+        if not isinstance(self.inner, _Col):
+            return None
+        vals = self.values
+        if vals.size and not np.issubdtype(vals.dtype, np.number):
+            return None
+        triple = _col_stats(stats, self.inner.name)
+        if triple is None:
+            return None
+        mins, maxs, nulls = triple
+        if vals.size == 0:
+            empty = np.zeros(len(mins), dtype=bool)
+            return empty, empty.copy()
+        # Smallest member >= chunk min; the chunk may match iff it also
+        # sits below the chunk max (NaN bounds sort past every member).
+        pos = np.searchsorted(vals, mins, side="left")
+        has = pos < len(vals)
+        nxt = vals[np.minimum(pos, len(vals) - 1)].astype(np.float64)
+        with np.errstate(invalid="ignore"):
+            may = has & (nxt <= maxs)
+            all_ = (mins == maxs) & may & (nulls == 0)
+        return may, all_
 
 
 def col(name: str) -> Expr:

@@ -6,6 +6,17 @@ over an executor.  It covers what the paper's "user-defined queries" do
 (filtered scans and grouped aggregations); the heavyweight analyses live
 in :mod:`repro.analysis` as dedicated kernels.
 
+Every terminal operation runs through the query planner
+(:mod:`repro.engine.planner`): zone maps prune chunks the filter cannot
+match, chunks the filter provably matches skip mask evaluation, and
+results land in an LRU cache keyed by the canonicalized filter.  The
+preferred entry point is :meth:`GdeltStore.query`, whose terminals
+return :class:`QueryResult` (value + profile + plan); constructing
+``Query`` directly returns bare values for backward compatibility.
+Grouped aggregation is spelled ``q.group_by("Quarter").count()`` — the
+old positional ``groupby_*(keys, n_groups)`` methods survive as
+deprecated shims.
+
 :func:`aggregated_country_query` is the paper's Section VI-G workload:
 one pass over the mentions table that simultaneously produces the inputs
 of Tables V, VI and VII (country co-reporting, cross-reporting counts,
@@ -16,7 +27,9 @@ so it supports chunked parallel execution.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
@@ -31,13 +44,37 @@ from repro.engine.aggregate import (
 )
 from repro.engine.executor import Executor, SerialExecutor
 from repro.engine.expr import Expr
+from repro.engine.planner import Plan, plan_query, result_cache
 from repro.engine.store import GdeltStore
 from repro.obs import metrics as _metrics
 from repro.obs import state as _obs
 from repro.obs.profile import ProfileCollector, QueryProfile
 from repro.obs.trace import span as _span
 
-__all__ = ["Query", "CountryQueryResult", "aggregated_country_query"]
+__all__ = [
+    "Query",
+    "QueryResult",
+    "GroupedQuery",
+    "CountryQueryResult",
+    "aggregated_country_query",
+]
+
+
+@dataclass(slots=True)
+class QueryResult:
+    """What a rich query terminal returns: the answer plus how it ran.
+
+    Attributes:
+        value: the terminal's result (count, array, stats dict, ...).
+        plan: the executed :class:`~repro.engine.planner.Plan`, carrying
+            pruning counts and the cache status (``hit``/``miss``).
+        profile: per-chunk execution profile (None when observability is
+            off or the result came from the cache).
+    """
+
+    value: object
+    plan: Plan | None = field(default=None, compare=False)
+    profile: QueryProfile | None = field(default=None, compare=False)
 
 
 class Query:
@@ -45,9 +82,12 @@ class Query:
 
     Examples::
 
-        q = Query(store, "mentions").filter(col("Delay") > 96)
-        q.count()
-        q.groupby_count(store.mention_quarter(), store.n_quarters())
+        q = store.query("mentions").filter(col("Delay") > 96)
+        q.count()                      # QueryResult(value=..., plan=...)
+        q.group_by("Quarter").count()  # per-quarter counts
+
+    Constructing ``Query(store, table)`` directly keeps the legacy
+    contract: terminals return bare values (``rich=False``).
     """
 
     def __init__(
@@ -57,18 +97,17 @@ class Query:
         where: Expr | None = None,
         executor: Executor | None = None,
         rows: slice | None = None,
+        rich: bool = False,
+        prune: bool = True,
     ) -> None:
-        if table not in ("events", "mentions"):
-            raise ValueError(f"unknown table {table!r}")
         self.store = store
         self.table_name = table
-        self.table = store.events if table == "events" else store.mentions
+        self.table = store.table(table)
         self.where = where
         self.executor = executor or SerialExecutor()
-        total = 0
-        for a in self.table.values():
-            total = len(a)
-            break
+        self.rich = rich
+        self.prune = prune
+        total = store.n_rows(table)
         if rows is None:
             rows = slice(0, total)
         if not (0 <= rows.start <= rows.stop <= total):
@@ -77,6 +116,8 @@ class Query:
         #: Execution profile of the most recent terminal operation run
         #: with observability enabled (None otherwise).
         self.last_profile: QueryProfile | None = None
+        #: Plan of the most recent terminal operation.
+        self.last_plan: Plan | None = None
 
     @property
     def n_rows(self) -> int:
@@ -90,6 +131,8 @@ class Query:
             where=self.where,
             executor=self.executor,
             rows=self.rows,
+            rich=self.rich,
+            prune=self.prune,
         )
         args.update(kw)
         return Query(**args)
@@ -102,6 +145,11 @@ class Query:
     def with_executor(self, executor: Executor) -> "Query":
         """Run subsequent terminal operations on ``executor``."""
         return self._clone(executor=executor)
+
+    def with_pruning(self, enabled: bool) -> "Query":
+        """Enable/disable zone-map pruning (the ablation baseline runs
+        with ``False``); results are identical either way."""
+        return self._clone(prune=enabled)
 
     def time_range(self, start_interval: int, end_interval: int) -> "Query":
         """Restrict a *mentions* query to capture intervals in
@@ -127,18 +175,24 @@ class Query:
         hi = min(hi, self.rows.stop)
         return self._clone(rows=slice(lo, max(lo, hi)))
 
+    def group_by(self, key: str) -> "GroupedQuery":
+        """Group passing rows by a named key (``"Quarter"``,
+        ``"SourceCountry"``, any integer column, ...).
+
+        See :meth:`GdeltStore.group_key` for the registry.
+        """
+        return GroupedQuery(self, key)
+
     def explain(self) -> str:
         """Human-readable execution plan for this query.
 
         Shows the scanned table, the (possibly time-restricted) row
-        range, the filter expression, the columns it touches, and the
-        executor — what the paper's engine decides before running a
-        user-defined query.
+        range, the filter, the zone-map pruning decision (chunks
+        pruned / scanned / mask-free), cache status, and the executor —
+        everything the engine decides before running the query.
         """
-        total = 0
-        for a in self.table.values():
-            total = len(a)
-            break
+        total = self.store.n_rows(self.table_name)
+        plan = self._plan("explain", sig=None)
         lines = [f"scan {self.table_name}"]
         if self.n_rows != total:
             pct = 100.0 * self.n_rows / total if total else 0.0
@@ -155,126 +209,355 @@ class Query:
             )
         else:
             lines.append("  filter none")
+        if plan.pruning == "zone-map":
+            kept = plan.n_chunks_total - plan.n_chunks_pruned
+            lines.append(
+                f"  zone-map pruning: {plan.n_chunks_pruned}/"
+                f"{plan.n_chunks_total} chunks pruned, {kept} scanned "
+                f"({plan.n_chunks_full} mask-free), "
+                f"chunk_rows={plan.zone_chunk_rows}"
+            )
+            lines.append(
+                f"  rows scanned {plan.rows_planned:,} of {plan.rows_total:,}"
+            )
+        elif plan.pruning == "unavailable":
+            lines.append("  zone-map pruning: unavailable (full scan)")
+        else:
+            lines.append("  zone-map pruning: not needed (no filter)")
+        lines.append(f"  dispatch {len(plan.units)} morsel(s)")
+        cache = result_cache()
+        lines.append(
+            f"  result cache: {len(cache)} entries, "
+            f"{cache.hits} hits / {cache.misses} misses"
+        )
         lines.append(
             f"  executor {type(self.executor).__name__}"
             f" x{getattr(self.executor, 'n_workers', 1)}"
         )
         return "\n".join(lines)
 
-    def _abs(self, sl: slice) -> slice:
-        """View-relative slice -> absolute table slice."""
-        return slice(self.rows.start + sl.start, self.rows.start + sl.stop)
+    # -- planned execution ---------------------------------------------------
 
-    def _mask(self, sl: slice) -> np.ndarray | None:
-        """Filter mask for a *view-relative* chunk."""
-        if self.where is None:
-            return None
-        return np.asarray(
-            self.where.evaluate(self.table, self._abs(sl)), dtype=bool
+    def _mask_abs(self, sl: slice) -> np.ndarray:
+        """Filter mask for an *absolute* table slice."""
+        return np.asarray(self.where.evaluate(self.table, sl), dtype=bool)
+
+    def _plan(self, op: str, sig: tuple | None) -> Plan:
+        return plan_query(
+            self.store, self.table_name, self.where, self.rows, op,
+            self.executor, sig, prune=self.prune,
         )
 
-    def _map(self, kernel, op: str) -> list:
-        """Run a terminal kernel over the view's chunks.
+    def _execute_plan(self, plan: Plan, kernel) -> list:
+        """Dispatch a plan's morsels, instrumented like the legacy scan.
 
         With observability enabled, wraps the scan in a ``query.<op>``
         span, collects a :class:`QueryProfile` into :attr:`last_profile`,
         and feeds the query counters/latency histogram.
         """
+        slices = [u.rows for u in plan.units]
         if not _obs._enabled:
-            return self.executor.map_chunks(kernel, self.n_rows)
+            return self.executor.map_slices(kernel, slices)
         collector = ProfileCollector()
-        with _span(f"query.{op}", table=self.table_name, rows=self.n_rows):
+        with _span(
+            f"query.{plan.op}",
+            table=self.table_name,
+            rows=self.n_rows,
+            chunks_pruned=plan.n_chunks_pruned,
+        ):
             t0 = time.perf_counter()
-            parts = self.executor.map_chunks(kernel, self.n_rows, profile=collector)
+            parts = self.executor.map_slices(kernel, slices, profile=collector)
             wall = time.perf_counter() - t0
         self.last_profile = collector.finish(
-            name=f"query.{op}",
+            name=f"query.{plan.op}",
             n_rows=self.n_rows,
             n_workers=getattr(self.executor, "n_workers", 1),
             wall_seconds=wall,
         )
-        _metrics.counter("queries_total", op=op).inc()
-        _metrics.histogram("query_seconds", op=op).observe(wall)
+        _metrics.counter("queries_total", op=plan.op).inc()
+        _metrics.histogram("query_seconds", op=plan.op).observe(wall)
         return parts
+
+    def _run(
+        self,
+        op: str,
+        kernel_for: Callable[[Callable[[slice], bool]], Callable],
+        reduce: Callable[[list, Plan], object],
+        sig: tuple | None = (),
+    ):
+        """Plan → cache probe → dispatch → reduce → cache fill.
+
+        ``kernel_for`` receives a ``needs_mask(slice) -> bool`` predicate
+        (False exactly for morsels the zone maps proved all-matching) and
+        returns the chunk kernel.  ``sig=None`` disables result caching.
+        """
+        plan = self._plan(op, sig)
+        self.last_plan = plan
+        cache = result_cache()
+        if plan.cache_key is not None:
+            hit = cache.get(plan.cache_key)
+            if hit is not None:
+                plan.cache_status = "hit"
+                if _obs._enabled:
+                    _metrics.counter("queries_total", op=op).inc()
+                return self._finish(hit, plan, None)
+            plan.cache_status = "miss"
+        masked = {
+            (u.rows.start, u.rows.stop) for u in plan.units if u.need_mask
+        }
+        kernel = kernel_for(lambda sl: (sl.start, sl.stop) in masked)
+        parts = self._execute_plan(plan, kernel)
+        value = reduce(parts, plan)
+        if plan.cache_key is not None:
+            cache.put(plan.cache_key, value)
+        return self._finish(value, plan, self.last_profile)
+
+    def _finish(self, value, plan: Plan, profile: QueryProfile | None):
+        if self.rich:
+            return QueryResult(value=value, plan=plan, profile=profile)
+        return value
 
     # -- terminal operations -------------------------------------------------
 
-    def mask(self) -> np.ndarray:
-        """Full boolean filter mask (all-true when unfiltered)."""
+    def mask(self):
+        """Full boolean filter mask over the view (all-true when
+        unfiltered; pruned regions are filled False without scanning)."""
         if self.where is None:
-            return np.ones(self.n_rows, dtype=bool)
-        parts = self._map(self._mask, "mask")
-        return np.concatenate(parts) if parts else np.zeros(0, dtype=bool)
+            value = np.ones(self.n_rows, dtype=bool)
+            return self._finish(value, self._plan("mask", sig=None), None)
 
-    def count(self) -> int:
+        base = self.rows.start
+
+        def kernel_for(needs_mask):
+            def kernel(sl: slice):
+                return self._mask_abs(sl) if needs_mask(sl) else None
+
+            return kernel
+
+        def reduce(parts, plan):
+            out = np.zeros(self.n_rows, dtype=bool)
+            for unit, part in zip(plan.units, parts):
+                seg = slice(unit.rows.start - base, unit.rows.stop - base)
+                out[seg] = True if part is None else part
+            return out
+
+        return self._run("mask", kernel_for, reduce, sig=("mask",))
+
+    def count(self):
         """Number of rows passing the filter."""
 
-        def kernel(sl: slice) -> int:
-            m = self._mask(sl)
-            return (sl.stop - sl.start) if m is None else int(m.sum())
+        def kernel_for(needs_mask):
+            def kernel(sl: slice) -> int:
+                if not needs_mask(sl):
+                    return sl.stop - sl.start
+                return int(self._mask_abs(sl).sum())
 
-        return sum(self._map(kernel, "count"))
+            return kernel
 
-    def sum(self, column: str) -> float:
+        return self._run("count", kernel_for, lambda parts, _: int(sum(parts)))
+
+    def sum(self, column: str):
         """Sum of a column over passing rows."""
 
-        def kernel(sl: slice) -> float:
-            v = self.table[column][self._abs(sl)]
-            m = self._mask(sl)
-            return float(v.sum()) if m is None else float(v[m].sum())
+        def kernel_for(needs_mask):
+            def kernel(sl: slice) -> float:
+                v = self.table[column][sl]
+                if not needs_mask(sl):
+                    return float(v.sum())
+                return float(v[self._mask_abs(sl)].sum())
 
-        return sum(self._map(kernel, "sum"))
+            return kernel
 
-    def mean(self, column: str) -> float:
-        """Mean of a column over passing rows (NaN when empty)."""
-        n = self.count()
-        return self.sum(column) / n if n else float("nan")
+        return self._run(
+            "sum", kernel_for, lambda parts, _: float(sum(parts)),
+            sig=("sum", column),
+        )
 
-    def groupby_count(self, keys: np.ndarray, n_groups: int) -> np.ndarray:
-        """Per-group row counts over passing rows (parallel bincount).
+    def mean(self, column: str):
+        """Mean of a column over passing rows (NaN when empty).
+
+        Fused: one pass accumulates (count, sum) per chunk, so the data
+        is scanned once, not twice.
+        """
+
+        def kernel_for(needs_mask):
+            def kernel(sl: slice) -> tuple[int, float]:
+                v = self.table[column][sl]
+                if not needs_mask(sl):
+                    return sl.stop - sl.start, float(v.sum())
+                m = self._mask_abs(sl)
+                return int(m.sum()), float(v[m].sum())
+
+            return kernel
+
+        def reduce(parts, _):
+            n = sum(p[0] for p in parts)
+            s = sum(p[1] for p in parts)
+            return s / n if n else float("nan")
+
+        return self._run("mean", kernel_for, reduce, sig=("mean", column))
+
+    # -- grouped terminals (used by GroupedQuery and the legacy shims) -------
+
+    def _grouped_count(self, keys, n_groups: int, sig: tuple | None):
+        def kernel_for(needs_mask):
+            def kernel(sl: slice) -> np.ndarray:
+                m = self._mask_abs(sl) if needs_mask(sl) else None
+                return group_count(keys[sl], n_groups, m)
+
+            return kernel
+
+        def reduce(parts, _):
+            if not parts:
+                return np.zeros(n_groups, dtype=np.int64)
+            return np.sum(parts, axis=0)
+
+        return self._run("groupby_count", kernel_for, reduce, sig=sig)
+
+    def _grouped_sum(self, keys, column: str, n_groups: int, sig: tuple | None):
+        def kernel_for(needs_mask):
+            def kernel(sl: slice) -> np.ndarray:
+                m = self._mask_abs(sl) if needs_mask(sl) else None
+                return group_sum(keys[sl], self.table[column][sl], n_groups, m)
+
+            return kernel
+
+        def reduce(parts, _):
+            if not parts:
+                return np.zeros(n_groups)
+            return np.sum(parts, axis=0)
+
+        return self._run("groupby_sum", kernel_for, reduce, sig=sig)
+
+    def _grouped_mean(self, keys, column: str, n_groups: int, sig: tuple | None):
+        def kernel_for(needs_mask):
+            def kernel(sl: slice) -> tuple[np.ndarray, np.ndarray]:
+                m = self._mask_abs(sl) if needs_mask(sl) else None
+                v = self.table[column][sl]
+                k = keys[sl]
+                return group_count(k, n_groups, m), group_sum(k, v, n_groups, m)
+
+            return kernel
+
+        def reduce(parts, _):
+            counts = np.zeros(n_groups, dtype=np.int64)
+            sums = np.zeros(n_groups)
+            for c, s in parts:
+                counts += c
+                sums += s
+            with np.errstate(invalid="ignore", divide="ignore"):
+                return np.where(counts > 0, sums / counts, np.nan)
+
+        return self._run("groupby_mean", kernel_for, reduce, sig=sig)
+
+    def _grouped_stats(self, keys, column: str, n_groups: int, sig: tuple | None):
+        """min/max/mean/median per group.
+
+        Fused: each chunk compacts its passing (key, value) pairs in
+        parallel — pruned chunks contribute nothing — then the group
+        kernels run once over the (typically far smaller) selection.
+        """
+
+        def kernel_for(needs_mask):
+            def kernel(sl: slice) -> tuple[np.ndarray, np.ndarray]:
+                k = keys[sl]
+                v = self.table[column][sl]
+                if needs_mask(sl):
+                    m = self._mask_abs(sl)
+                    k, v = k[m], v[m]
+                return np.asarray(k), np.asarray(v)
+
+            return kernel
+
+        def reduce(parts, _):
+            if parts:
+                k = np.concatenate([p[0] for p in parts])
+                v = np.concatenate([p[1] for p in parts])
+            else:
+                k = np.zeros(0, dtype=np.int64)
+                v = np.zeros(0)
+            return {
+                "min": group_min(k, v, n_groups),
+                "max": group_max(k, v, n_groups),
+                "mean": group_mean(k, v, n_groups),
+                "median": group_median(k, v, n_groups),
+            }
+
+        return self._run("groupby_stats", kernel_for, reduce, sig=sig)
+
+    # -- deprecated positional group-by API ----------------------------------
+
+    def _deprecated(self, old: str, new: str) -> None:
+        warnings.warn(
+            f"Query.{old} is deprecated; use Query.group_by(name).{new} "
+            "(see docs/query-api.md)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
+    def groupby_count(self, keys: np.ndarray, n_groups: int):
+        """Deprecated: use ``group_by(name).count()``.
 
         ``keys`` is indexed in *table* coordinates (one key per table
-        row), so precomputed derived columns slot in directly.
+        row), so precomputed derived columns slot in directly.  Raw-array
+        keys cannot be fingerprinted, so these shims bypass the result
+        cache.
         """
+        self._deprecated("groupby_count(keys, n_groups)", "count()")
+        return self._grouped_count(keys, n_groups, sig=None)
 
-        def kernel(sl: slice) -> np.ndarray:
-            return group_count(keys[self._abs(sl)], n_groups, self._mask(sl))
+    def groupby_sum(self, keys: np.ndarray, column: str, n_groups: int):
+        """Deprecated: use ``group_by(name).sum(column)``."""
+        self._deprecated("groupby_sum(keys, column, n_groups)", "sum(column)")
+        return self._grouped_sum(keys, column, n_groups, sig=None)
 
-        parts = self._map(kernel, "groupby_count")
-        return np.sum(parts, axis=0) if parts else np.zeros(n_groups, dtype=np.int64)
+    def groupby_stats(self, keys: np.ndarray, column: str, n_groups: int):
+        """Deprecated: use ``group_by(name).stats(column)``."""
+        self._deprecated("groupby_stats(keys, column, n_groups)", "stats(column)")
+        return self._grouped_stats(keys, column, n_groups, sig=None)
 
-    def groupby_sum(
-        self, keys: np.ndarray, column: str, n_groups: int
-    ) -> np.ndarray:
-        """Per-group column sums over passing rows."""
 
-        def kernel(sl: slice) -> np.ndarray:
-            asl = self._abs(sl)
-            return group_sum(
-                keys[asl], self.table[column][asl], n_groups, self._mask(sl)
-            )
+class GroupedQuery:
+    """Grouped aggregation over a query's passing rows.
 
-        parts = self._map(kernel, "groupby_sum")
-        return np.sum(parts, axis=0) if parts else np.zeros(n_groups)
+    Built by :meth:`Query.group_by`; the key name resolves through the
+    store's group-key registry (aliases share one canonical name, so
+    ``group_by("Quarter")`` and ``group_by("MentionQuarter")`` share
+    cache entries).  Terminals return arrays of length
+    :attr:`n_groups` — or :class:`QueryResult` wrapping one, when the
+    parent query is rich.
+    """
 
-    def groupby_stats(
-        self, keys: np.ndarray, column: str, n_groups: int
-    ) -> dict[str, np.ndarray]:
-        """min/max/mean/median of ``column`` per group (single-pass mask).
+    def __init__(self, query: Query, key: str) -> None:
+        self._q = query
+        self.key, self._keys, self.n_groups = query.store.group_key(
+            query.table_name, key
+        )
 
-        Median requires a global per-group sort, so this terminal is
-        computed serially over the masked rows.
-        """
-        r = self.rows
-        values = self.table[column][r]
-        k = keys[r]
-        m = self.mask()
-        return {
-            "min": group_min(k, values, n_groups, m),
-            "max": group_max(k, values, n_groups, m),
-            "mean": group_mean(k, values, n_groups, m),
-            "median": group_median(k, values, n_groups, m),
-        }
+    def _sig(self, op: str, column: str | None = None) -> tuple:
+        return ("group", self.key, self.n_groups, op, column)
+
+    def count(self):
+        """Rows per group."""
+        return self._q._grouped_count(self._keys, self.n_groups, self._sig("count"))
+
+    def sum(self, column: str):
+        """Sum of ``column`` per group."""
+        return self._q._grouped_sum(
+            self._keys, column, self.n_groups, self._sig("sum", column)
+        )
+
+    def mean(self, column: str):
+        """Mean of ``column`` per group (NaN for empty groups)."""
+        return self._q._grouped_mean(
+            self._keys, column, self.n_groups, self._sig("mean", column)
+        )
+
+    def stats(self, column: str):
+        """min/max/mean/median of ``column`` per group."""
+        return self._q._grouped_stats(
+            self._keys, column, self.n_groups, self._sig("stats", column)
+        )
 
 
 # --- the paper's aggregated country query ------------------------------------

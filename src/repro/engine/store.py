@@ -16,6 +16,7 @@ or constructed directly from arrays (the synthetic fast path).
 
 from __future__ import annotations
 
+import itertools
 import logging
 from pathlib import Path
 
@@ -28,6 +29,7 @@ from repro.storage.columns import StringDictionary
 from repro.storage.format import StorageError
 from repro.storage.index import aligned_group_bounds, sort_permutation
 from repro.storage.reader import DatasetReader
+from repro.storage.stats import DEFAULT_ZONE_CHUNK_ROWS, ZoneMaps, compute_zone_maps
 
 __all__ = ["GdeltStore"]
 
@@ -35,6 +37,9 @@ logger = logging.getLogger(__name__)
 
 #: FIPS → roster index, shared by every store.
 _ROSTER_POS = {c.fips: i for i, c in enumerate(COUNTRIES)}
+
+#: Monotonic store identity tokens (part of the planner cache key).
+_STORE_SEQ = itertools.count()
 
 
 class GdeltStore:
@@ -50,6 +55,7 @@ class GdeltStore:
         ev_lo: np.ndarray,
         ev_hi: np.ndarray,
         reader: DatasetReader | None = None,
+        zone_chunk_rows: int | None = None,
     ) -> None:
         self.events = events
         self.mentions = mentions
@@ -60,6 +66,14 @@ class GdeltStore:
         self.ev_hi = ev_hi
         self._reader = reader
         self._cache: dict[str, object] = {}
+        #: Zone-map granularity for maps computed by this store (lazy
+        #: backfill / from_arrays); persisted datasets keep whatever
+        #: granularity the writer recorded.
+        self.zone_chunk_rows = (
+            DEFAULT_ZONE_CHUNK_ROWS if zone_chunk_rows is None else zone_chunk_rows
+        )
+        self._token = f"store{next(_STORE_SEQ)}"
+        self._generation = 0
 
     # -- construction --------------------------------------------------------
 
@@ -108,10 +122,13 @@ class GdeltStore:
         events: dict[str, np.ndarray],
         mentions: dict[str, np.ndarray],
         dictionaries: dict[str, StringDictionary],
+        zone_chunk_rows: int | None = None,
     ) -> "GdeltStore":
         """Build a live store from binary-layout arrays (no disk round trip).
 
-        The join index is computed on the fly.
+        The join index is computed on the fly; zone maps are computed
+        lazily on first planner use (``zone_chunk_rows`` sets their
+        granularity — useful for tests exercising pruning on small data).
         """
         perm = sort_permutation(mentions["GlobalEventID"])
         sorted_eids = mentions["GlobalEventID"][perm]
@@ -124,6 +141,7 @@ class GdeltStore:
             mentions_by_event=perm,
             ev_lo=bounds[:, 0].copy(),
             ev_hi=bounds[:, 1].copy(),
+            zone_chunk_rows=zone_chunk_rows,
         )
         if "mention_urls" in dictionaries:
             store._cache["mention_urls"] = dictionaries["mention_urls"]
@@ -155,6 +173,188 @@ class GdeltStore:
         return sum(a.nbytes for a in self.events.values()) + sum(
             a.nbytes for a in self.mentions.values()
         )
+
+    # -- query surface -------------------------------------------------------
+
+    def table(self, name: str) -> dict[str, np.ndarray]:
+        """Column dict of table ``name`` (``"events"`` or ``"mentions"``)."""
+        if name == "events":
+            return self.events
+        if name == "mentions":
+            return self.mentions
+        raise ValueError(f"unknown table {name!r} (expected events or mentions)")
+
+    def n_rows(self, name: str) -> int:
+        """Row count of a table, validated against every column.
+
+        Raises:
+            StorageError: on a table with no columns or ragged columns —
+                either would silently corrupt chunked query results.
+        """
+        cols = self.table(name)
+        if not cols:
+            raise StorageError(f"table {name!r} has no columns")
+        lengths = {c: len(a) for c, a in cols.items()}
+        n = next(iter(lengths.values()))
+        if any(v != n for v in lengths.values()):
+            raise StorageError(f"table {name!r}: ragged columns {lengths}")
+        return n
+
+    def query(self, table: str):
+        """The end-user query entry point.
+
+        Returns a :class:`repro.engine.query.Query` whose terminal
+        operations run through the zone-map planner and return rich
+        :class:`repro.engine.query.QueryResult` objects (value + profile
+        + plan)::
+
+            res = store.query("mentions").filter(col("Delay") > 96).count()
+            res.value, res.plan.n_chunks_pruned
+        """
+        from repro.engine.query import Query
+
+        return Query(self, table, rich=True)
+
+    def fingerprint(self) -> tuple[str, int]:
+        """Identity token for planner cache keys.
+
+        Stable for the store's lifetime until :meth:`invalidate` bumps
+        the generation; never reused across stores in one process.
+        """
+        return self._token, self._generation
+
+    def invalidate(self) -> None:
+        """Drop every derived/cached artifact after in-place data mutation.
+
+        Stores are read-only by contract, but ingest tooling that swaps
+        or appends column arrays must call this: it clears derived
+        columns and zone maps and bumps the cache generation so stale
+        planner results can never be served.
+        """
+        self._generation += 1
+        self._cache.clear()
+        from repro.engine.planner import invalidate_cache
+
+        invalidate_cache(self._token)
+
+    def zone_maps(self, name: str) -> ZoneMaps:
+        """Zone maps for a table, computing (and backfilling) on demand.
+
+        * dataset-backed store, v4 manifest — decoded from the manifest;
+        * dataset-backed store, v3 manifest — computed from the loaded
+          columns, then written back (best effort: the manifest is
+          upgraded to v4 in place so the cost is paid once per dataset,
+          but a read-only directory just recomputes per process);
+        * array-backed store — computed from the arrays.
+        """
+        key = f"zone_maps:{name}"
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = self._reader.zone_maps(name) if self._reader else None
+            if cached is None:
+                cached = compute_zone_maps(self.table(name), self.zone_chunk_rows)
+                if self._reader is not None:
+                    self._backfill_zone_maps(name, cached)
+            self._cache[key] = cached
+        return cached  # type: ignore[return-value]
+
+    def _backfill_zone_maps(self, name: str, zm: ZoneMaps) -> None:
+        """Upgrade a v3 manifest in place with freshly computed zone maps."""
+        from repro.storage.format import FORMAT_VERSION, write_manifest
+
+        manifest = self._reader.manifest
+        manifest.table(name).zone_maps = zm.to_manifest()
+        manifest.version = FORMAT_VERSION
+        try:
+            write_manifest(self._reader.root, manifest)
+        except OSError as exc:  # read-only dataset: recompute per process
+            logger.warning("zone-map backfill of %s failed: %s", self._reader.root, exc)
+            return
+        _metrics.counter("storage_zone_map_backfills_total").inc()
+        logger.info("backfilled zone maps for table %s in %s", name, self._reader.root)
+
+    #: Named group keys per table: label → method computing (keys, n_groups).
+    _GROUP_KEYS = {
+        "mentions": {
+            "Quarter": "_gk_mention_quarter",
+            "MentionQuarter": "_gk_mention_quarter",
+            "EventQuarter": "_gk_mention_event_quarter",
+            "Source": "_gk_source",
+            "SourceId": "_gk_source",
+            "SourceCountry": "_gk_mention_source_country",
+            "EventCountry": "_gk_mention_event_country",
+        },
+        "events": {
+            "Quarter": "_gk_event_quarter",
+            "EventQuarter": "_gk_event_quarter",
+            "Country": "_gk_event_country",
+            "CountryCode": "_gk_event_country",
+        },
+    }
+
+    def group_key(self, table: str, name: str) -> tuple[str, np.ndarray, int]:
+        """Resolve a named group key to ``(canonical name, keys, n_groups)``.
+
+        Accepts the registered derived keys above (aliases share one
+        canonical name, so they share cache entries) or any integer
+        column of the table (grouped by value; negative values are
+        dropped by the kernels).
+        """
+        cols = self.table(table)
+        registry = self._GROUP_KEYS.get(table, {})
+        method = registry.get(name)
+        if method is not None:
+            return getattr(self, method)()
+        arr = cols.get(name)
+        if arr is not None and np.issubdtype(np.asarray(arr).dtype, np.integer):
+            ck = f"ngroups:{table}:{name}"
+            n = self._cache.get(ck)
+            if n is None:
+                n = int(arr.max()) + 1 if len(arr) else 0
+                self._cache[ck] = n
+            return f"{table}.{name}", arr, n
+        options = sorted(set(registry) | {c for c in cols})
+        raise KeyError(
+            f"unknown group key {name!r} for table {table!r}; "
+            f"available: {', '.join(options)}"
+        )
+
+    def _gk_mention_quarter(self):
+        return "mentions.Quarter", self.mention_quarter(), self.n_quarters()
+
+    def _gk_mention_event_quarter(self):
+        return (
+            "mentions.EventQuarter",
+            self.mention_event_quarter(),
+            self.n_quarters(),
+        )
+
+    def _gk_source(self):
+        return "mentions.SourceId", self.mentions["SourceId"], self.n_sources
+
+    def _gk_mention_source_country(self):
+        cached = self._cache.get("mention_source_country")
+        if cached is None:
+            cached = self.source_country_idx()[self.mentions["SourceId"]]
+            self._cache["mention_source_country"] = cached
+        return "mentions.SourceCountry", cached, self.n_countries
+
+    def _gk_mention_event_country(self):
+        cached = self._cache.get("mention_event_country")
+        if cached is None:
+            rows = self.mention_event_row()
+            evc = self.event_country_idx()
+            cached = np.where(
+                rows >= 0, evc[np.clip(rows, 0, None)], np.int16(-1)
+            ).astype(np.int16)
+            self._cache["mention_event_country"] = cached
+        return "mentions.EventCountry", cached, self.n_countries
+
+    def _gk_event_quarter(self):
+        return "events.Quarter", self.event_quarter(), self.n_quarters()
+
+    def _gk_event_country(self):
+        return "events.Country", self.event_country_idx(), self.n_countries
 
     # -- lazy URL dictionaries -------------------------------------------------
 

@@ -124,11 +124,14 @@ def dataset_to_binary(
     out_dir: Path,
     include_urls: bool = True,
     compress: bool = False,
+    zone_chunk_rows: int | None = None,
 ) -> Path:
     """Write a synthetic dataset as a binary dataset directory.
 
     With ``compress=True`` the bulky interval/tone columns are written
     with the compression codecs (same data, smaller files, no mmap).
+    ``zone_chunk_rows`` overrides the zone-map granularity (None keeps
+    the writer's default).
     """
     from repro.ingest.convert import (
         COMPRESSED_EVENT_CODECS,
@@ -141,7 +144,11 @@ def dataset_to_binary(
     sorted_eids = mentions["GlobalEventID"][perm]
     bounds = aligned_group_bounds(events["GlobalEventID"], sorted_eids)
 
-    writer = DatasetWriter(out_dir)
+    writer = (
+        DatasetWriter(out_dir)
+        if zone_chunk_rows is None
+        else DatasetWriter(out_dir, zone_chunk_rows=zone_chunk_rows)
+    )
     ev_dicts = {"CountryCode": "countries"}
     mt_dicts = {"SourceId": "sources"}
     if include_urls:

@@ -28,11 +28,15 @@ from repro.storage.format import (
 )
 from repro.storage.columns import StringDictionary, encode_strings
 from repro.storage.codecs import CODECS, codec_supports, decode_column, encode_column
+from repro.storage.stats import DEFAULT_ZONE_CHUNK_ROWS, ZoneMaps, compute_zone_maps
 from repro.storage.writer import DatasetWriter
 from repro.storage.reader import DatasetReader
 from repro.storage.verify import VerifyIssue, VerifyReport, verify_dataset
 
 __all__ = [
+    "DEFAULT_ZONE_CHUNK_ROWS",
+    "ZoneMaps",
+    "compute_zone_maps",
     "FORMAT_VERSION",
     "ColumnMeta",
     "TableMeta",

@@ -12,11 +12,18 @@ guard; checksums catch *silent* corruption (bit rot, torn writes that
 kept the length) and back the ``repro-gdelt verify`` subcommand.
 Checksum fields are optional in the schema so hand-built manifests
 without them still load — they are then simply not verifiable.
+
+Format version 4 adds optional per-table **zone maps** (``zone_maps``
+on each table: min/max/null-count per column per fixed-size row chunk,
+see :mod:`repro.storage.stats`), which the query planner uses to skip
+chunks a filter provably cannot match.  Version-3 datasets still load;
+the engine backfills their zone maps lazily on first use.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
@@ -24,15 +31,20 @@ import numpy as np
 
 __all__ = [
     "FORMAT_VERSION",
+    "SUPPORTED_VERSIONS",
     "StorageError",
     "ColumnMeta",
     "TableMeta",
     "DictionaryMeta",
     "IndexMeta",
     "Manifest",
+    "write_manifest",
 ]
 
-FORMAT_VERSION = 3
+FORMAT_VERSION = 4
+
+#: Versions the reader accepts.  v3 manifests simply lack zone maps.
+SUPPORTED_VERSIONS = frozenset({3, FORMAT_VERSION})
 
 #: dtypes allowed in column files (little-endian, fixed width).
 ALLOWED_DTYPES = frozenset(
@@ -81,9 +93,17 @@ class ColumnMeta:
 
 @dataclass(slots=True)
 class TableMeta:
+    """One table: row count, columns, and (since v4) optional zone maps.
+
+    ``zone_maps`` is the plain-JSON form produced by
+    :meth:`repro.storage.stats.ZoneMaps.to_manifest` (``None`` on v3
+    datasets until backfilled).
+    """
+
     name: str
     rows: int
     columns: list[ColumnMeta] = field(default_factory=list)
+    zone_maps: dict | None = None
 
     def column(self, name: str) -> ColumnMeta:
         for c in self.columns:
@@ -149,15 +169,17 @@ class Manifest:
             raw = json.loads(text)
         except json.JSONDecodeError as exc:
             raise StorageError(f"manifest is not valid JSON: {exc}") from exc
-        if raw.get("version") != FORMAT_VERSION:
+        if raw.get("version") not in SUPPORTED_VERSIONS:
             raise StorageError(
-                f"dataset format version {raw.get('version')} != {FORMAT_VERSION}"
+                f"dataset format version {raw.get('version')} not in "
+                f"{sorted(SUPPORTED_VERSIONS)}"
             )
         tables = [
             TableMeta(
                 name=t["name"],
                 rows=t["rows"],
                 columns=[ColumnMeta(**c) for c in t["columns"]],
+                zone_maps=t.get("zone_maps"),
             )
             for t in raw.get("tables", [])
         ]
@@ -190,3 +212,16 @@ def index_path(root: Path, name: str) -> Path:
 
 def manifest_path(root: Path) -> Path:
     return root / "manifest.json"
+
+
+def write_manifest(root: Path, manifest: Manifest) -> None:
+    """Atomically write (and fsync) ``manifest`` as ``root``'s commit record."""
+    path = manifest_path(root)
+    tmp = path.with_suffix(".json.tmp")
+    tmp.write_text(manifest.to_json(), encoding="utf-8")
+    fd = os.open(tmp, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+    tmp.replace(path)

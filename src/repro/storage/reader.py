@@ -197,3 +197,11 @@ class DatasetReader:
 
     def has_index(self, name: str) -> bool:
         return any(i.name == name for i in self.manifest.indexes)
+
+    def zone_maps(self, table: str):
+        """Zone maps recorded for ``table`` (None on v3 datasets until
+        backfilled — see :meth:`repro.engine.store.GdeltStore.zone_maps`)."""
+        from repro.storage.stats import ZoneMaps
+
+        raw = self.manifest.table(table).zone_maps
+        return ZoneMaps.from_manifest(raw) if raw else None

@@ -30,8 +30,9 @@ from repro.storage.format import (
     dict_blob_path,
     dict_offsets_path,
     index_path,
-    manifest_path,
+    write_manifest,
 )
+from repro.storage.stats import DEFAULT_ZONE_CHUNK_ROWS, compute_zone_maps
 
 __all__ = ["DatasetWriter"]
 
@@ -46,11 +47,18 @@ class DatasetWriter:
         w.add_dictionary("sources", source_dict)
         w.add_index("mentions_by_event", "mentions", "permutation", perm)
         w.finish(meta={"origin": "synthetic"})
+
+    ``zone_chunk_rows`` sets the zone-map granularity recorded for each
+    table (format v4); pass ``None`` to skip zone-map computation (the
+    engine then backfills them lazily on first planner use).
     """
 
-    def __init__(self, root: Path) -> None:
+    def __init__(
+        self, root: Path, zone_chunk_rows: int | None = DEFAULT_ZONE_CHUNK_ROWS
+    ) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.zone_chunk_rows = zone_chunk_rows
         self._manifest = Manifest(version=FORMAT_VERSION)
         self._finished = False
 
@@ -137,6 +145,10 @@ class DatasetWriter:
                 )
                 meta.crc32 = self._commit_bytes(path, payload)
             table.columns.append(meta)
+        if self.zone_chunk_rows is not None:
+            table.zone_maps = compute_zone_maps(
+                columns, self.zone_chunk_rows
+            ).to_manifest()
         self._manifest.tables.append(table)
 
     def add_dictionary(self, name: str, dictionary: StringDictionary) -> None:
@@ -180,15 +192,7 @@ class DatasetWriter:
         """Write the manifest; the dataset is now complete and immutable."""
         self._check_open()
         self._manifest.meta = dict(meta or {})
-        path = manifest_path(self.root)
-        tmp = path.with_suffix(".json.tmp")
-        tmp.write_text(self._manifest.to_json(), encoding="utf-8")
-        fd = os.open(tmp, os.O_RDONLY)
-        try:
-            os.fsync(fd)
-        finally:
-            os.close(fd)
-        tmp.replace(path)
+        write_manifest(self.root, self._manifest)
         self._finished = True
         return self._manifest
 

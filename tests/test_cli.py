@@ -71,6 +71,33 @@ class TestQueries:
         assert "speedup" in out
         assert " 64 " in out  # model extrapolation rows
 
+    def test_explain(self, tiny_binary, capsys):
+        assert main(["explain", str(tiny_binary), "--where", "Delay > 96"]) == 0
+        out = capsys.readouterr().out
+        assert "zone-map pruning" in out
+        assert "result cache" in out
+
+    def test_explain_run_reports_count(self, tiny_binary, capsys):
+        rc = main(
+            ["explain", str(tiny_binary), "--where", "Delay > 96",
+             "--where", "Confidence >= 80", "--run"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "count = " in out
+        assert "chunks pruned" in out
+
+    def test_explain_isin_and_time_range(self, tiny_binary, capsys):
+        rc = main(
+            ["explain", str(tiny_binary), "--where", "SourceId in 1,2,3",
+             "--time-range", "100", "200", "--run"]
+        )
+        assert rc == 0
+        assert "count = " in capsys.readouterr().out
+
+    def test_explain_bad_predicate(self, tiny_binary):
+        assert main(["explain", str(tiny_binary), "--where", "Delay ~ 96"]) == 2
+
 
 class TestAnalyses:
     def test_wildfires(self, tiny_binary, capsys):

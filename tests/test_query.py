@@ -48,14 +48,16 @@ class TestQueryBuilder:
 
     def test_groupby_count(self, tiny_store):
         keys = tiny_store.mention_quarter().astype(np.int64)
-        got = Query(tiny_store, "mentions").groupby_count(keys, 20)
+        with pytest.deprecated_call():
+            got = Query(tiny_store, "mentions").groupby_count(keys, 20)
         assert np.array_equal(got, np.bincount(keys, minlength=20))
 
     def test_groupby_stats_match_numpy(self, tiny_store):
         keys = np.asarray(tiny_store.mentions["SourceId"]).astype(np.int64)
-        stats = Query(tiny_store, "mentions").groupby_stats(
-            keys, "Delay", tiny_store.n_sources
-        )
+        with pytest.deprecated_call():
+            stats = Query(tiny_store, "mentions").groupby_stats(
+                keys, "Delay", tiny_store.n_sources
+            )
         d = np.asarray(tiny_store.mentions["Delay"])
         sid = 0
         mine = d[keys == sid]
@@ -174,7 +176,8 @@ class TestTimeRange:
         sel = (mi >= lo) & (mi < hi)
         assert q.sum("Delay") == np.asarray(tiny_store.mentions["Delay"])[sel].sum()
         keys = np.asarray(tiny_store.mentions["SourceId"]).astype(np.int64)
-        got = q.groupby_count(keys, tiny_store.n_sources)
+        with pytest.deprecated_call():
+            got = q.groupby_count(keys, tiny_store.n_sources)
         want = np.bincount(keys[sel], minlength=tiny_store.n_sources)
         assert np.array_equal(got, want)
 
@@ -184,7 +187,8 @@ class TestTimeRange:
         lo, hi = quarter_index_range(3)
         q = Query(tiny_store, "mentions").time_range(lo, hi)
         keys = np.asarray(tiny_store.mentions["SourceId"]).astype(np.int64)
-        stats = q.groupby_stats(keys, "Delay", tiny_store.n_sources)
+        with pytest.deprecated_call():
+            stats = q.groupby_stats(keys, "Delay", tiny_store.n_sources)
         mi = np.asarray(tiny_store.mentions["MentionInterval"])
         d = np.asarray(tiny_store.mentions["Delay"])
         sel = (mi >= lo) & (mi < hi)

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""CI smoke check for the concurrent query-serving subsystem.
+
+Builds a tiled synthetic store (scan-bound, like the planner smoke),
+runs the serving benchmark, and asserts the serving contract:
+
+* N identical concurrent requests execute exactly one scan
+  (single-flight dedup engages);
+* batched concurrent serving beats naive sequential serving by >= 2x
+  wall-clock throughput on the mixed workload;
+* an overloaded tiny service sheds (``RETRY_AFTER``/``QUEUE_FULL``)
+  instead of hanging, and every submission still resolves.
+
+Emits ``benchmarks/out/BENCH_serve.json`` with the measured numbers.
+
+Run:  PYTHONPATH=src python benchmarks/serve_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.engine import GdeltStore, result_cache
+from repro.engine.expr import parse_predicate
+from repro.ingest.direct import dataset_to_arrays
+from repro.serve import QueryRequest, QueryService
+from repro.serve.bench import run_serve_bench
+from repro.synth import generate_dataset, small_config
+
+OUT = Path(__file__).parent / "out" / "BENCH_serve.json"
+ZONE_CHUNK_ROWS = 4_096
+#: Same tiling trick as the planner smoke: big enough that scan cost
+#: dominates per-request overhead, cheap enough for CI.
+TILE = 12
+SPEEDUP_FLOOR = 2.0
+
+
+def check_single_flight(store: GdeltStore) -> dict:
+    """N identical concurrent requests must cost exactly one scan."""
+    pred = parse_predicate("Delay > 48")
+    with QueryService(store, workers=2, max_batch=64, max_queue=256) as svc:
+        result_cache().invalidate()
+        pendings = [
+            svc.submit(QueryRequest(table="mentions", op="count", where=pred))
+            for _ in range(48)
+        ]
+        responses = [p.result(timeout=60.0) for p in pendings]
+        stats = svc.stats()
+    assert all(r.ok for r in responses), "dedup burst had failures"
+    assert len({r.value for r in responses}) == 1, "dedup burst diverged"
+    assert stats["scans"] == 1, (
+        f"expected exactly 1 scan for 48 identical requests, got "
+        f"{stats['scans']} (dedup {stats['dedup_hits']}, "
+        f"cache {stats['cache_hits']})"
+    )
+    print(
+        f"single-flight: 48 identical requests -> {stats['scans']} scan, "
+        f"{stats['dedup_hits']} deduped, {stats['cache_hits']} cache hits"
+    )
+    return {
+        "requests": 48,
+        "scans": stats["scans"],
+        "dedup_hits": stats["dedup_hits"],
+        "cache_hits": stats["cache_hits"],
+    }
+
+
+def main() -> int:
+    print("building tiled synthetic store ...")
+    events, mentions, dicts = dataset_to_arrays(generate_dataset(small_config()))
+    mentions = {c: np.tile(np.asarray(a), TILE) for c, a in mentions.items()}
+    store = GdeltStore.from_arrays(
+        events, mentions, dicts, zone_chunk_rows=ZONE_CHUNK_ROWS
+    )
+    print(f"mentions table: {store.n_mentions:,} rows (tiled x{TILE})")
+
+    dedup = check_single_flight(store)
+
+    t0 = time.perf_counter()
+    report = run_serve_bench(store, clients=32, distinct=12, dup_factor=4,
+                             workers=4)
+    report["single_flight"] = dedup
+    naive, served = report["naive"], report["served"]
+    print(
+        f"naive:  {naive['throughput_rps']:.0f} req/s ({naive['scans']} scans)"
+    )
+    print(
+        f"served: {served['throughput_rps']:.0f} req/s "
+        f"({served['scans']} scans, {served['dedup_hits']} deduped, "
+        f"{served['batches']} batches)"
+    )
+    print(
+        f"speedup {report['speedup']:.2f}x, overload shed "
+        f"{report['overload']['shed']}/{report['overload']['requests']} "
+        f"({report['overload']['shed_reasons']}), "
+        f"bench wall {time.perf_counter() - t0:.1f}s"
+    )
+
+    assert report["speedup"] >= SPEEDUP_FLOOR, (
+        f"batched serving must be >= {SPEEDUP_FLOOR}x naive, "
+        f"got {report['speedup']:.2f}x"
+    )
+    assert report["overload"]["shed"] > 0, "overload did not shed"
+
+    OUT.parent.mkdir(exist_ok=True)
+    OUT.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {OUT}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

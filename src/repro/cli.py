@@ -10,6 +10,8 @@ The future-work Python interface the paper promises, as a CLI::
     repro-gdelt scaling db/ --threads 1 2 4              # Fig 12 measurement
     repro-gdelt profile db/ --threads 4                  # traced query profile
     repro-gdelt explain db/ --where "Delay > 96"         # planner decisions
+    repro-gdelt serve db/ --port 7311 --workers 4        # concurrent query service
+    repro-gdelt bench-serve db/ --clients 32             # serving benchmark
 
 Progress reporting goes through stdlib ``logging`` to stderr (``-v``
 for debug detail, ``-q`` for warnings only); stdout carries only the
@@ -181,6 +183,48 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also execute count() and report the value + cache status",
     )
+
+    sv = sub.add_parser(
+        "serve",
+        help="serve concurrent queries over a line-delimited-JSON socket",
+    )
+    sv.add_argument("dataset", type=Path)
+    sv.add_argument("--host", default="127.0.0.1")
+    sv.add_argument(
+        "--port", type=int, default=7311, help="0 picks an ephemeral port"
+    )
+    sv.add_argument("--workers", type=int, default=2)
+    sv.add_argument(
+        "--scan-threads", type=int, default=1,
+        help="engine threads per worker for the fused scan",
+    )
+    sv.add_argument("--max-queue", type=int, default=256)
+    sv.add_argument("--max-batch", type=int, default=16)
+    sv.add_argument(
+        "--rate-limit", type=float, default=None,
+        help="per-client requests/second (default: unlimited)",
+    )
+    sv.add_argument(
+        "--default-deadline", type=float, default=None,
+        help="deadline seconds applied to requests that carry none",
+    )
+    add_metrics_out(sv)
+
+    bs = sub.add_parser(
+        "bench-serve",
+        help="benchmark naive vs batched serving; write BENCH_serve.json",
+    )
+    bs.add_argument("dataset", type=Path)
+    bs.add_argument("--clients", type=int, default=32)
+    bs.add_argument("--distinct", type=int, default=12)
+    bs.add_argument("--dup-factor", type=int, default=4)
+    bs.add_argument("--workers", type=int, default=4)
+    bs.add_argument("--scan-threads", type=int, default=1)
+    bs.add_argument(
+        "--out", type=Path, default=Path("BENCH_serve.json"),
+        help="where to write the JSON report",
+    )
+    add_metrics_out(bs)
     return p
 
 
@@ -399,31 +443,9 @@ def _cmd_cluster(args) -> int:
 
 def _parse_predicate(text: str):
     """``"Delay > 96"`` / ``"SourceId in 1,2,3"`` -> an Expr conjunct."""
-    import re
+    from repro.engine import parse_predicate
 
-    from repro.engine import col
-
-    m = re.match(r"^\s*(\w+)\s+in\s+(.+?)\s*$", text)
-    if m:
-        raw = m.group(2).strip().strip("[]()")
-        values = [
-            float(v) if "." in v else int(v)
-            for v in (p.strip() for p in raw.split(",")) if v
-        ]
-        return col(m.group(1)).isin(values)
-    m = re.match(r"^\s*(\w+)\s*(<=|>=|==|!=|<|>)\s*(-?\d+(?:\.\d+)?)\s*$", text)
-    if not m:
-        raise ValueError(
-            f"cannot parse predicate {text!r} "
-            "(expected 'COLUMN OP NUMBER' or 'COLUMN in V1,V2,...')"
-        )
-    name, op, raw = m.groups()
-    value = float(raw) if "." in raw else int(raw)
-    c = col(name)
-    return {
-        "<": c < value, "<=": c <= value, ">": c > value,
-        ">=": c >= value, "==": c == value, "!=": c != value,
-    }[op]
+    return parse_predicate(text)
 
 
 def _cmd_explain(args) -> int:
@@ -448,6 +470,76 @@ def _cmd_explain(args) -> int:
             f"executed: {plan.n_chunks_pruned}/{plan.n_chunks_total} chunks "
             f"pruned, cache {plan.cache_status}"
         )
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.engine import GdeltStore
+    from repro.serve import QueryService, ServeServer
+
+    store = GdeltStore.open(args.dataset)
+    service = QueryService(
+        store,
+        workers=args.workers,
+        scan_threads=args.scan_threads,
+        max_queue=args.max_queue,
+        max_batch=args.max_batch,
+        rate_limit=args.rate_limit,
+        default_deadline_s=args.default_deadline,
+    )
+    server = ServeServer(service, host=args.host, port=args.port)
+    logger.info(
+        "serving %s on %s:%d (%d workers, queue %d, batch %d)",
+        args.dataset, server.host, server.port, args.workers,
+        args.max_queue, args.max_batch,
+    )
+    print(f"listening on {server.host}:{server.port}", flush=True)
+    try:
+        while True:
+            time.sleep(1.0)
+    except KeyboardInterrupt:
+        logger.info("draining and shutting down ...")
+    finally:
+        server.close()
+        service.close(drain=True)
+        stats = service.stats()
+        logger.info(
+            "served %d requests (%d ok, %d shed, %d error), %d scans",
+            stats["submitted"], stats["ok"], stats["shed"], stats["error"],
+            stats["scans"],
+        )
+    return 0
+
+
+def _cmd_bench_serve(args) -> int:
+    from repro.engine import GdeltStore
+    from repro.serve.bench import run_serve_bench
+
+    store = GdeltStore.open(args.dataset)
+    t0 = time.perf_counter()
+    report = run_serve_bench(
+        store,
+        clients=args.clients,
+        distinct=args.distinct,
+        dup_factor=args.dup_factor,
+        workers=args.workers,
+        scan_threads=args.scan_threads,
+    )
+    logger.info("bench-serve finished in %.1fs", time.perf_counter() - t0)
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    naive, served = report["naive"], report["served"]
+    print(
+        f"naive:  {naive['throughput_rps']:.0f} req/s "
+        f"({naive['scans']} scans, wall {naive['wall_seconds']:.3f}s)"
+    )
+    print(
+        f"served: {served['throughput_rps']:.0f} req/s "
+        f"({served['scans']} scans, {served['dedup_hits']} deduped, "
+        f"{served['batches']} batches, wall {served['wall_seconds']:.3f}s)"
+    )
+    print(f"speedup: {report['speedup']:.2f}x")
+    print(f"wrote {args.out}")
     return 0
 
 
@@ -495,6 +587,8 @@ def main(argv: list[str] | None = None) -> int:
         "wildfires": _cmd_wildfires,
         "cluster": _cmd_cluster,
         "explain": _cmd_explain,
+        "serve": _cmd_serve,
+        "bench-serve": _cmd_bench_serve,
     }
     rc = handlers[args.command](args)
     if metrics_out is not None and rc == 0:

@@ -30,8 +30,17 @@ Layers:
 """
 
 from repro.engine.store import GdeltStore
-from repro.engine.expr import col, const, Expr
-from repro.engine.planner import Plan, QueryCache, ScanUnit, plan_query, result_cache
+from repro.engine.expr import col, const, Expr, parse_predicate
+from repro.engine.planner import (
+    FusedUnit,
+    Plan,
+    QueryCache,
+    ScanUnit,
+    fuse_plans,
+    plan_query,
+    request_key,
+    result_cache,
+)
 from repro.engine.query import (
     CountryQueryResult,
     GroupedQuery,
@@ -57,13 +66,17 @@ __all__ = [
     "col",
     "const",
     "Expr",
+    "parse_predicate",
     "Query",
     "QueryResult",
     "GroupedQuery",
     "Plan",
     "ScanUnit",
+    "FusedUnit",
     "QueryCache",
     "plan_query",
+    "request_key",
+    "fuse_plans",
     "result_cache",
     "CountryQueryResult",
     "aggregated_country_query",

@@ -25,9 +25,11 @@ query planner needs:
 
 from __future__ import annotations
 
+import re
+
 import numpy as np
 
-__all__ = ["Expr", "col", "const"]
+__all__ = ["Expr", "col", "const", "parse_predicate"]
 
 Table = dict[str, np.ndarray]
 
@@ -360,3 +362,44 @@ def _table_rows(table: Table) -> int:
     for a in table.values():
         return len(a)
     return 0
+
+
+# --- textual predicates ------------------------------------------------------
+
+_PRED_IN = re.compile(r"^\s*(\w+)\s+in\s+(.+?)\s*$")
+_PRED_CMP = re.compile(r"^\s*(\w+)\s*(<=|>=|==|!=|<|>)\s*(-?\d+(?:\.\d+)?)\s*$")
+
+
+def parse_predicate(text: str) -> Expr:
+    """Parse one textual conjunct into an :class:`Expr`.
+
+    The grammar shared by the CLI's ``--where`` flags and the serving
+    wire protocol: ``"Delay > 96"`` (any of ``< <= == != >= >``) or
+    ``"SourceId in 1,2,3"``.  Values are numeric literals only — the
+    parser never evaluates input, so it is safe on untrusted request
+    strings.
+
+    Raises:
+        ValueError: on anything that does not match the grammar.
+    """
+    m = _PRED_IN.match(text)
+    if m:
+        raw = m.group(2).strip().strip("[]()")
+        values = [
+            float(v) if "." in v else int(v)
+            for v in (p.strip() for p in raw.split(",")) if v
+        ]
+        return col(m.group(1)).isin(values)
+    m = _PRED_CMP.match(text)
+    if not m:
+        raise ValueError(
+            f"cannot parse predicate {text!r} "
+            "(expected 'COLUMN OP NUMBER' or 'COLUMN in V1,V2,...')"
+        )
+    name, op, raw = m.groups()
+    value = float(raw) if "." in raw else int(raw)
+    c = col(name)
+    return {
+        "<": c < value, "<=": c <= value, ">": c > value,
+        ">=": c >= value, "==": c == value, "!=": c != value,
+    }[op]

@@ -22,6 +22,7 @@ interval analysis cannot bound, degrades to the unpruned full scan.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
@@ -41,8 +42,11 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = [
     "ScanUnit",
     "Plan",
+    "FusedUnit",
     "QueryCache",
     "plan_query",
+    "request_key",
+    "fuse_plans",
     "result_cache",
     "invalidate_cache",
 ]
@@ -259,6 +263,95 @@ def plan_query(
         return plan
 
 
+def request_key(
+    store: "GdeltStore",
+    table: str,
+    where: "Expr | None",
+    rows: slice,
+    op: str,
+    sig: tuple | None = (),
+) -> tuple | None:
+    """The canonical identity of one terminal request.
+
+    Exactly the tuple :func:`plan_query` stamps on ``Plan.cache_key`` —
+    the serving layer uses it to single-flight identical in-flight
+    requests without building a full plan first.  ``None`` means the
+    request has no canonical identity (unfingerprintable ``sig``).
+    """
+    if sig is None:
+        return None
+    canonical = where.canonical() if where is not None else None
+    return (store.fingerprint(), table, rows.start, rows.stop, canonical, op, sig)
+
+
+# --- shared-scan fusion ------------------------------------------------------
+
+
+@dataclass(slots=True)
+class FusedUnit:
+    """One morsel of a fused multi-request scan.
+
+    ``members`` lists ``(plan index, need_mask)`` for every fused plan
+    whose surviving chunks cover this row range; plans whose zone maps
+    pruned the range are simply absent, so a fused pass still does no
+    work a solo pass would have skipped.
+    """
+
+    rows: slice
+    members: tuple[tuple[int, bool], ...]
+
+
+def fuse_plans(plans: "list[Plan]", n_workers: int = 1) -> list[FusedUnit]:
+    """Fuse the scan units of several same-table plans into one pass.
+
+    The union of all plans' unit boundaries cuts the table into
+    elementary segments; each segment carries the set of plans covering
+    it (with their per-plan mask-need).  Adjacent segments with the same
+    membership merge, then split into executor-sized morsels — so one
+    scheduler dispatch serves every fused request while preserving each
+    plan's own pruning and mask-free decisions.
+    """
+    bounds: set[int] = set()
+    for p in plans:
+        for u in p.units:
+            bounds.add(u.rows.start)
+            bounds.add(u.rows.stop)
+    if not bounds:
+        return []
+    pts = sorted(bounds)
+    # Membership per elementary segment [pts[i], pts[i+1]).
+    members: list[list[tuple[int, bool]]] = [[] for _ in range(len(pts) - 1)]
+    for idx, p in enumerate(plans):
+        for u in p.units:
+            lo = np.searchsorted(pts, u.rows.start)
+            hi = np.searchsorted(pts, u.rows.stop)
+            for s in range(lo, hi):
+                members[s].append((idx, u.need_mask))
+    # Coalesce adjacent segments with identical membership.
+    runs: list[FusedUnit] = []
+    for i, mem in enumerate(members):
+        if not mem:
+            continue
+        key = tuple(mem)
+        lo, hi = pts[i], pts[i + 1]
+        if runs and runs[-1].rows.stop == lo and runs[-1].members == key:
+            runs[-1].rows = slice(runs[-1].rows.start, hi)
+        else:
+            runs.append(FusedUnit(slice(lo, hi), key))
+    # Morselize by *selected* rows, like _morselize, keeping membership.
+    selected = sum(r.rows.stop - r.rows.start for r in runs)
+    if selected == 0:
+        return []
+    step = default_chunk_rows(selected, n_workers)
+    units: list[FusedUnit] = []
+    for run in runs:
+        for lo in range(run.rows.start, run.rows.stop, step):
+            units.append(
+                FusedUnit(slice(lo, min(lo + step, run.rows.stop)), run.members)
+            )
+    return units
+
+
 # --- result cache -----------------------------------------------------------
 
 
@@ -280,58 +373,78 @@ class QueryCache:
     op, sig)``; the store fingerprint includes a generation counter, so
     :meth:`GdeltStore.invalidate` implicitly orphans every stale entry
     (and :meth:`invalidate` evicts them eagerly).
+
+    Thread-safe: one process-wide instance is shared by every query —
+    including the serving subsystem's worker threads — so every access
+    to the ordered dict and the hit/miss counters happens under a lock.
+    (``OrderedDict.move_to_end`` during a concurrent iteration, or two
+    racing ``popitem`` evictions, would otherwise corrupt the LRU
+    order or raise.)  Values are copied on the way in and out, outside
+    the lock — cached objects are never handed to two callers.
     """
 
     def __init__(self, capacity: int = DEFAULT_CACHE_CAPACITY) -> None:
         self.capacity = capacity
         self._data: "OrderedDict[tuple, object]" = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     def get(self, key: tuple):
         """Cached value (a fresh copy) or None; counts the hit/miss."""
-        if key in self._data:
-            self._data.move_to_end(key)
-            self.hits += 1
+        with self._lock:
+            value = self._data.get(key)
+            if value is not None:
+                self._data.move_to_end(key)
+                self.hits += 1
+            else:
+                self.misses += 1
+        if value is not None:
             if _obs._enabled:
                 _metrics.counter("planner_cache_hits_total").inc()
-            return _copy_value(self._data[key])
-        self.misses += 1
+            return _copy_value(value)
         if _obs._enabled:
             _metrics.counter("planner_cache_misses_total").inc()
         return None
 
     def put(self, key: tuple, value) -> None:
-        self._data[key] = _copy_value(value)
-        self._data.move_to_end(key)
-        while len(self._data) > self.capacity:
-            self._data.popitem(last=False)
-            self.evictions += 1
-            if _obs._enabled:
-                _metrics.counter("planner_cache_evictions_total").inc()
+        value = _copy_value(value)
+        evicted = 0
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+                self.evictions += 1
+                evicted += 1
+        if evicted and _obs._enabled:
+            _metrics.counter("planner_cache_evictions_total").inc(evicted)
 
     def invalidate(self, store_token: str | None = None) -> int:
         """Evict entries for one store (by fingerprint token) or all."""
-        if store_token is None:
-            n = len(self._data)
-            self._data.clear()
-            return n
-        stale = [k for k in self._data if k[0][0] == store_token]
-        for k in stale:
-            del self._data[k]
-        return len(stale)
+        with self._lock:
+            if store_token is None:
+                n = len(self._data)
+                self._data.clear()
+                return n
+            stale = [k for k in self._data if k[0][0] == store_token]
+            for k in stale:
+                del self._data[k]
+            return len(stale)
 
     def stats(self) -> dict[str, int]:
-        return {
-            "size": len(self._data),
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-        }
+        with self._lock:
+            return {
+                "size": len(self._data),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
 
 
 _CACHE = QueryCache()

@@ -57,7 +57,31 @@ __all__ = [
     "GroupedQuery",
     "CountryQueryResult",
     "aggregated_country_query",
+    "terminal_signature",
 ]
+
+
+def terminal_signature(
+    op: str,
+    column: str | None = None,
+    group: str | None = None,
+    n_groups: int | None = None,
+) -> tuple:
+    """Cache-key signature of a terminal operation.
+
+    The single source of truth shared by :class:`Query`'s terminals and
+    the serving layer (:mod:`repro.serve`), so a result computed by
+    either fills the same :class:`~repro.engine.planner.QueryCache`
+    entry the other probes.  ``group`` is the *canonical* group-key
+    name from :meth:`GdeltStore.group_key`.
+    """
+    if group is not None:
+        return ("group", group, n_groups, op, column)
+    if op in ("sum", "mean"):
+        return (op, column)
+    if op == "mask":
+        return ("mask",)
+    return ()
 
 
 @dataclass(slots=True)
@@ -88,6 +112,14 @@ class Query:
 
     Constructing ``Query(store, table)`` directly keeps the legacy
     contract: terminals return bare values (``rich=False``).
+
+    Re-entrancy: a ``Query`` is cheap per-call state — builder methods
+    return fresh instances and terminals touch only locals plus the
+    thread-safe store/planner caches — so any number of threads may
+    build and run queries against one store concurrently, each from its
+    own ``store.query(...)`` chain.  Only :attr:`last_profile` /
+    :attr:`last_plan` are instance-mutable; don't share one instance's
+    terminals across threads if you read those afterwards.
     """
 
     def __init__(
@@ -341,7 +373,7 @@ class Query:
                 out[seg] = True if part is None else part
             return out
 
-        return self._run("mask", kernel_for, reduce, sig=("mask",))
+        return self._run("mask", kernel_for, reduce, sig=terminal_signature("mask"))
 
     def count(self):
         """Number of rows passing the filter."""
@@ -354,7 +386,10 @@ class Query:
 
             return kernel
 
-        return self._run("count", kernel_for, lambda parts, _: int(sum(parts)))
+        return self._run(
+            "count", kernel_for, lambda parts, _: int(sum(parts)),
+            sig=terminal_signature("count"),
+        )
 
     def sum(self, column: str):
         """Sum of a column over passing rows."""
@@ -370,7 +405,7 @@ class Query:
 
         return self._run(
             "sum", kernel_for, lambda parts, _: float(sum(parts)),
-            sig=("sum", column),
+            sig=terminal_signature("sum", column),
         )
 
     def mean(self, column: str):
@@ -395,7 +430,9 @@ class Query:
             s = sum(p[1] for p in parts)
             return s / n if n else float("nan")
 
-        return self._run("mean", kernel_for, reduce, sig=("mean", column))
+        return self._run(
+            "mean", kernel_for, reduce, sig=terminal_signature("mean", column)
+        )
 
     # -- grouped terminals (used by GroupedQuery and the legacy shims) -------
 
@@ -535,7 +572,7 @@ class GroupedQuery:
         )
 
     def _sig(self, op: str, column: str | None = None) -> tuple:
-        return ("group", self.key, self.n_groups, op, column)
+        return terminal_signature(op, column, group=self.key, n_groups=self.n_groups)
 
     def count(self):
         """Rows per group."""

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import itertools
 import logging
+import threading
 from pathlib import Path
 
 import numpy as np
@@ -43,7 +44,17 @@ _STORE_SEQ = itertools.count()
 
 
 class GdeltStore:
-    """Read-only in-memory (or memory-mapped) GDELT dataset."""
+    """Read-only in-memory (or memory-mapped) GDELT dataset.
+
+    Thread-safety contract (see docs/query-api.md): table columns are
+    immutable after construction, so any number of threads may read and
+    query concurrently.  Lazily derived artifacts (derived columns,
+    zone maps, group-key cardinalities) are computed once under
+    :attr:`_lock` and immutable thereafter; :meth:`invalidate` bumps
+    the cache generation and clears them atomically under the same
+    lock, so a concurrent :meth:`fingerprint` never observes the new
+    generation with stale derived state.
+    """
 
     def __init__(
         self,
@@ -66,6 +77,10 @@ class GdeltStore:
         self.ev_hi = ev_hi
         self._reader = reader
         self._cache: dict[str, object] = {}
+        #: Guards lazy derivation and generation bumps; re-entrant so a
+        #: derived-column factory may itself request other derived
+        #: columns (e.g. mention_event_country needs mention_event_row).
+        self._lock = threading.RLock()
         #: Zone-map granularity for maps computed by this store (lazy
         #: backfill / from_arrays); persisted datasets keep whatever
         #: granularity the writer recorded.
@@ -220,8 +235,11 @@ class GdeltStore:
 
         Stable for the store's lifetime until :meth:`invalidate` bumps
         the generation; never reused across stores in one process.
+        Reads the generation under the store lock, so a concurrent
+        :meth:`invalidate` is observed atomically with its cache clear.
         """
-        return self._token, self._generation
+        with self._lock:
+            return self._token, self._generation
 
     def invalidate(self) -> None:
         """Drop every derived/cached artifact after in-place data mutation.
@@ -229,13 +247,34 @@ class GdeltStore:
         Stores are read-only by contract, but ingest tooling that swaps
         or appends column arrays must call this: it clears derived
         columns and zone maps and bumps the cache generation so stale
-        planner results can never be served.
+        planner results can never be served.  The bump and the clear
+        happen atomically under the store lock, so server worker
+        threads planning concurrently either see the old generation
+        (and their results are orphaned by the new fingerprint) or the
+        new generation with an empty derived cache — never a mix.
         """
-        self._generation += 1
-        self._cache.clear()
+        with self._lock:
+            self._generation += 1
+            self._cache.clear()
         from repro.engine.planner import invalidate_cache
 
         invalidate_cache(self._token)
+
+    def _cached(self, key: str, factory):
+        """Get-or-compute a derived artifact, thread-safely.
+
+        The double-checked fast path keeps the common case (already
+        computed) lock-free — dict reads are atomic under the GIL and
+        entries are immutable once published.
+        """
+        value = self._cache.get(key)
+        if value is None:
+            with self._lock:
+                value = self._cache.get(key)
+                if value is None:
+                    value = factory()
+                    self._cache[key] = value
+        return value
 
     def zone_maps(self, name: str) -> ZoneMaps:
         """Zone maps for a table, computing (and backfilling) on demand.
@@ -247,16 +286,15 @@ class GdeltStore:
           but a read-only directory just recomputes per process);
         * array-backed store — computed from the arrays.
         """
-        key = f"zone_maps:{name}"
-        cached = self._cache.get(key)
-        if cached is None:
-            cached = self._reader.zone_maps(name) if self._reader else None
-            if cached is None:
-                cached = compute_zone_maps(self.table(name), self.zone_chunk_rows)
+        def compute() -> ZoneMaps:
+            zm = self._reader.zone_maps(name) if self._reader else None
+            if zm is None:
+                zm = compute_zone_maps(self.table(name), self.zone_chunk_rows)
                 if self._reader is not None:
-                    self._backfill_zone_maps(name, cached)
-            self._cache[key] = cached
-        return cached  # type: ignore[return-value]
+                    self._backfill_zone_maps(name, zm)
+            return zm
+
+        return self._cached(f"zone_maps:{name}", compute)  # type: ignore[return-value]
 
     def _backfill_zone_maps(self, name: str, zm: ZoneMaps) -> None:
         """Upgrade a v3 manifest in place with freshly computed zone maps."""
@@ -307,11 +345,10 @@ class GdeltStore:
             return getattr(self, method)()
         arr = cols.get(name)
         if arr is not None and np.issubdtype(np.asarray(arr).dtype, np.integer):
-            ck = f"ngroups:{table}:{name}"
-            n = self._cache.get(ck)
-            if n is None:
-                n = int(arr.max()) + 1 if len(arr) else 0
-                self._cache[ck] = n
+            n = self._cached(
+                f"ngroups:{table}:{name}",
+                lambda: int(arr.max()) + 1 if len(arr) else 0,
+            )
             return f"{table}.{name}", arr, n
         options = sorted(set(registry) | {c for c in cols})
         raise KeyError(
@@ -333,22 +370,25 @@ class GdeltStore:
         return "mentions.SourceId", self.mentions["SourceId"], self.n_sources
 
     def _gk_mention_source_country(self):
-        cached = self._cache.get("mention_source_country")
-        if cached is None:
-            cached = self.source_country_idx()[self.mentions["SourceId"]]
-            self._cache["mention_source_country"] = cached
+        cached = self._cached(
+            "mention_source_country",
+            lambda: self.source_country_idx()[self.mentions["SourceId"]],
+        )
         return "mentions.SourceCountry", cached, self.n_countries
 
     def _gk_mention_event_country(self):
-        cached = self._cache.get("mention_event_country")
-        if cached is None:
+        def compute():
             rows = self.mention_event_row()
             evc = self.event_country_idx()
-            cached = np.where(
+            return np.where(
                 rows >= 0, evc[np.clip(rows, 0, None)], np.int16(-1)
             ).astype(np.int16)
-            self._cache["mention_event_country"] = cached
-        return "mentions.EventCountry", cached, self.n_countries
+
+        return (
+            "mentions.EventCountry",
+            self._cached("mention_event_country", compute),
+            self.n_countries,
+        )
 
     def _gk_event_quarter(self):
         return "events.Quarter", self.event_quarter(), self.n_quarters()
@@ -359,16 +399,20 @@ class GdeltStore:
     # -- lazy URL dictionaries -------------------------------------------------
 
     def _lazy_dict(self, name: str) -> StringDictionary | None:
-        if name in self._cache:
-            return self._cache[name]  # type: ignore[return-value]
+        cached = self._cache.get(name)
+        if cached is not None:
+            return cached  # type: ignore[return-value]
         if self._reader is None:
             return None
-        try:
-            d = self._reader.dictionary(name)
-        except StorageError:
-            return None
-        self._cache[name] = d
-        return d
+        with self._lock:
+            cached = self._cache.get(name)
+            if cached is None:
+                try:
+                    cached = self._reader.dictionary(name)
+                except StorageError:
+                    return None
+                self._cache[name] = cached
+        return cached  # type: ignore[return-value]
 
     def mention_url(self, row: int) -> str | None:
         """URL of mention ``row`` (None when URLs were not materialized)."""
@@ -393,70 +437,65 @@ class GdeltStore:
 
         Cached; computed once by scanning the source dictionary.
         """
-        cached = self._cache.get("source_country_idx")
-        if cached is None:
+        def compute() -> np.ndarray:
             out = np.full(len(self.sources), -1, dtype=np.int16)
             for sid, domain in enumerate(self.sources):
                 fips = source_country(domain)
                 if fips is not None:
                     out[sid] = _ROSTER_POS[fips]
-            self._cache["source_country_idx"] = cached = out
-        return cached  # type: ignore[return-value]
+            return out
+
+        return self._cached("source_country_idx", compute)  # type: ignore[return-value]
 
     def event_country_idx(self) -> np.ndarray:
         """Roster index per *event row* (-1 = untagged/unknown FIPS)."""
-        cached = self._cache.get("event_country_idx")
-        if cached is None:
+        def compute() -> np.ndarray:
             code_to_roster = np.full(len(self.countries), -1, dtype=np.int16)
             for code, fips in enumerate(self.countries):
                 if fips and fips in _ROSTER_POS:
                     code_to_roster[code] = _ROSTER_POS[fips]
-            cached = code_to_roster[self.events["CountryCode"]]
-            self._cache["event_country_idx"] = cached
-        return cached  # type: ignore[return-value]
+            return code_to_roster[self.events["CountryCode"]]
+
+        return self._cached("event_country_idx", compute)  # type: ignore[return-value]
 
     def mention_event_row(self) -> np.ndarray:
         """Events-table row index per mention (-1 = dangling event id)."""
-        cached = self._cache.get("mention_event_row")
-        if cached is None:
+        def compute() -> np.ndarray:
             eids = self.events["GlobalEventID"]
             m = self.mentions["GlobalEventID"]
             pos = np.searchsorted(eids, m)
             pos_c = np.clip(pos, 0, len(eids) - 1)
             ok = eids[pos_c] == m
-            cached = np.where(ok, pos_c, -1).astype(np.int64)
-            self._cache["mention_event_row"] = cached
-        return cached  # type: ignore[return-value]
+            return np.where(ok, pos_c, -1).astype(np.int64)
+
+        return self._cached("mention_event_row", compute)  # type: ignore[return-value]
 
     def mention_quarter(self) -> np.ndarray:
         """Calendar quarter of each mention's capture interval."""
-        cached = self._cache.get("mention_quarter")
-        if cached is None:
-            cached = intervals_to_quarters(
+        return self._cached(  # type: ignore[return-value]
+            "mention_quarter",
+            lambda: intervals_to_quarters(
                 self.mentions["MentionInterval"].astype(np.int64)
-            ).astype(np.int16)
-            self._cache["mention_quarter"] = cached
-        return cached  # type: ignore[return-value]
+            ).astype(np.int16),
+        )
 
     def event_quarter(self) -> np.ndarray:
         """Calendar quarter of each event's day."""
-        cached = self._cache.get("event_quarter")
-        if cached is None:
-            cached = intervals_to_quarters(
+        return self._cached(  # type: ignore[return-value]
+            "event_quarter",
+            lambda: intervals_to_quarters(
                 self.events["DayInterval"].astype(np.int64)
-            ).astype(np.int16)
-            self._cache["event_quarter"] = cached
-        return cached  # type: ignore[return-value]
+            ).astype(np.int16),
+        )
 
     def mention_event_quarter(self) -> np.ndarray:
         """Calendar quarter of each mention's *event* interval."""
-        cached = self._cache.get("mention_event_quarter")
-        if cached is None:
-            cached = intervals_to_quarters(
+        return self._cached(  # type: ignore[return-value]
+            "mention_event_quarter",
+            lambda: intervals_to_quarters(
                 self.mentions["EventInterval"].astype(np.int64)
-            ).astype(np.int16)
-            self._cache["mention_event_quarter"] = cached
-        return cached  # type: ignore[return-value]
+            ).astype(np.int16),
+        )
 
     def n_quarters(self) -> int:
         """Number of quarters spanned by the mention data (max quarter + 1)."""

@@ -126,14 +126,18 @@ def chaos_plan(seed: int = 13) -> FaultPlan:
     """The standing chaos plan CI runs the suite under.
 
     Only *recoverable* faults: transient fetch errors that the retrying
-    fetcher absorbs, plus millisecond-scale slow reads.  Nothing here
-    may change the outcome of a correct recovery path, so the whole
-    tier-1 suite must still pass with this plan installed.
+    fetcher absorbs, millisecond-scale slow reads, and millisecond-scale
+    slow serving requests (the serving layer treats slowness as ordinary
+    load — it feeds the admission controller's service-time estimate but
+    never changes a result).  Nothing here may change the outcome of a
+    correct recovery path, so the whole tier-1 suite must still pass
+    with this plan installed.
     """
     return FaultPlan(
         specs=(
             FaultSpec(site="fetch.read", kind="transient", prob=0.15, fail_attempts=1),
             FaultSpec(site="fetch.read", kind="slow", prob=0.05, delay_s=0.005),
+            FaultSpec(site="serve.request", kind="slow", prob=0.05, delay_s=0.002),
         ),
         seed=seed,
     )

@@ -16,7 +16,7 @@ import json
 import threading
 from dataclasses import dataclass, field
 
-__all__ = ["ChunkTiming", "ProfileCollector", "QueryProfile"]
+__all__ = ["ChunkTiming", "ProfileCollector", "QueryProfile", "percentiles"]
 
 
 @dataclass(slots=True)
@@ -187,3 +187,21 @@ class ProfileCollector:
             chunks=chunks,
             bytes_scanned=bytes_scanned,
         )
+
+
+def percentiles(
+    values, qs: tuple[float, ...] = (50.0, 95.0, 99.0)
+) -> dict[str, float]:
+    """Latency-style percentile snapshot: ``{"p50": ..., "p95": ...}``.
+
+    Empty input yields zeros — callers report a quiet service, not a
+    crash.  Used by the serving layer's profile and the serve bench.
+    """
+    import numpy as _np
+
+    out = {}
+    arr = _np.asarray(list(values), dtype=float)
+    for q in qs:
+        label = f"p{q:g}".replace(".", "_")
+        out[label] = float(_np.percentile(arr, q)) if arr.size else 0.0
+    return out

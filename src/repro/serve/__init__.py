@@ -1,0 +1,59 @@
+"""repro.serve — concurrent query serving over the repro engine.
+
+Turns the single-caller query engine into a multi-tenant service:
+admission control (bounded priority queues, per-client rate limits,
+deadline-aware load shedding), single-flight deduplication of identical
+in-flight queries, shared-scan batching of compatible ones, and a
+line-delimited-JSON socket front end with a matching Python client.
+
+In process::
+
+    from repro.serve import QueryService, QueryRequest
+
+    with QueryService(store, workers=4) as svc:
+        resp = svc.query("mentions", op="count")
+        assert resp.ok
+
+Over a socket (``repro-gdelt serve data/``)::
+
+    from repro.serve import ServeClient
+
+    with ServeClient("127.0.0.1", 7311) as client:
+        resp = client.query(table="mentions", op="count")
+"""
+
+from repro.serve.admission import AdmissionController, TokenBucket
+from repro.serve.batcher import (
+    BatchItem,
+    ExecutableOp,
+    compile_request,
+    execute_batch,
+)
+from repro.serve.client import ServeClient
+from repro.serve.request import (
+    GROUP_OPS,
+    OPS,
+    QueryRequest,
+    QueryResponse,
+    request_from_wire,
+)
+from repro.serve.server import ServeServer
+from repro.serve.service import PendingRequest, QueryService
+
+__all__ = [
+    "AdmissionController",
+    "BatchItem",
+    "ExecutableOp",
+    "GROUP_OPS",
+    "OPS",
+    "PendingRequest",
+    "QueryRequest",
+    "QueryResponse",
+    "QueryService",
+    "ServeClient",
+    "ServeServer",
+    "TokenBucket",
+    "compile_request",
+    "execute_batch",
+    "request_from_wire",
+]

@@ -1,0 +1,311 @@
+"""Shared-scan batching: one pass over the data serving N pending queries.
+
+Every admitted request compiles to an :class:`ExecutableOp` — a chunk
+kernel plus a reduce, mirroring the exact semantics of the matching
+:class:`~repro.engine.query.Query` terminal (same partial shapes, same
+reduce expressions), so a value computed here is interchangeable with
+one computed by ``store.query(...)`` and both share the planner's
+result cache.
+
+Compatible requests against the same table are then *fused*: the
+planner builds each request's pruned plan, :func:`~repro.engine.planner
+.fuse_plans` unions the surviving row ranges, and one executor
+dispatch walks the union — each morsel's columns are read once, while
+hot, for every member request that covers it.  Requests whose zone
+maps pruned a region contribute no work there, so fusion never scans
+more than the sum of its parts; it just stops scanning it N times.
+
+Float caveat: fused morsel boundaries are the union of the members'
+boundaries, so float-column sums may associate differently than a solo
+run (same class of last-ulp variation as changing the worker count).
+Counts and integer-column aggregates are exact and identical either
+way — which is what the serving acceptance tests pin byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.engine.aggregate import (
+    group_count,
+    group_max,
+    group_mean,
+    group_median,
+    group_min,
+    group_sum,
+)
+from repro.engine.executor import Executor
+from repro.engine.planner import Plan, fuse_plans, plan_query, request_key
+from repro.engine.query import terminal_signature
+from repro.engine.store import GdeltStore
+from repro.serve.request import QueryRequest
+
+__all__ = ["ExecutableOp", "BatchItem", "compile_request", "execute_batch"]
+
+
+class ExecutableOp:
+    """One request compiled against a store: kernel + reduce + identity.
+
+    ``partial(sl, need_mask)`` computes the chunk partial for an
+    absolute row slice; ``need_mask=False`` means the planner proved
+    every row in the slice passes the filter, so mask evaluation is
+    skipped (identical to the Query terminals' mask-free fast path).
+    """
+
+    __slots__ = (
+        "store", "req", "table", "rows", "op_name", "sig", "key",
+        "_keys", "_n_groups", "_kernel", "_reduce",
+    )
+
+    def __init__(self, store: GdeltStore, req: QueryRequest) -> None:
+        self.store = store
+        self.req = req
+        self.table = store.table(req.table)
+        total = store.n_rows(req.table)
+        rows = slice(0, total)
+        if req.time_range is not None:
+            lo_i, hi_i = req.time_range
+            col_vals = self.table["MentionInterval"]
+            lo = int(np.searchsorted(col_vals, lo_i, side="left"))
+            hi = int(np.searchsorted(col_vals, hi_i, side="left"))
+            rows = slice(lo, max(lo, hi))
+        self.rows = rows
+
+        group = None
+        self._keys = None
+        self._n_groups = 0
+        if req.group_by is not None:
+            group, self._keys, self._n_groups = store.group_key(
+                req.table, req.group_by
+            )
+            self.op_name = f"groupby_{req.op}"
+        else:
+            self.op_name = req.op
+        self.sig = terminal_signature(
+            req.op, req.column, group=group, n_groups=self._n_groups if group else None
+        )
+        self.key = request_key(
+            store, req.table, req.where, rows, self.op_name, self.sig
+        )
+        self._kernel, self._reduce = self._build()
+
+    def plan(self, executor: Executor, prune: bool = True) -> Plan:
+        """This request's pruned scan plan (planner cache key included)."""
+        return plan_query(
+            self.store, self.req.table, self.req.where, self.rows,
+            self.op_name, executor, self.sig, prune=prune,
+        )
+
+    def _mask(self, sl: slice) -> np.ndarray:
+        return np.asarray(self.req.where.evaluate(self.table, sl), dtype=bool)
+
+    def partial(self, sl: slice, need_mask: bool):
+        return self._kernel(sl, need_mask and self.req.where is not None)
+
+    def reduce(self, parts: list):
+        return self._reduce(parts)
+
+    # -- op table (each mirrors the matching Query terminal exactly) -------
+
+    def _build(self):
+        if self.req.group_by is not None:
+            return getattr(self, f"_group_{self.req.op}")()
+        return getattr(self, f"_scalar_{self.req.op}")()
+
+    def _scalar_count(self):
+        def kernel(sl, need):
+            if not need:
+                return sl.stop - sl.start
+            return int(self._mask(sl).sum())
+
+        return kernel, lambda parts: int(sum(parts))
+
+    def _scalar_sum(self):
+        column = self.req.column
+
+        def kernel(sl, need):
+            v = self.table[column][sl]
+            if not need:
+                return float(v.sum())
+            return float(v[self._mask(sl)].sum())
+
+        return kernel, lambda parts: float(sum(parts))
+
+    def _scalar_mean(self):
+        column = self.req.column
+
+        def kernel(sl, need):
+            v = self.table[column][sl]
+            if not need:
+                return sl.stop - sl.start, float(v.sum())
+            m = self._mask(sl)
+            return int(m.sum()), float(v[m].sum())
+
+        def reduce(parts):
+            n = sum(p[0] for p in parts)
+            s = sum(p[1] for p in parts)
+            return s / n if n else float("nan")
+
+        return kernel, reduce
+
+    def _group_count(self):
+        keys, n_groups = self._keys, self._n_groups
+
+        def kernel(sl, need):
+            m = self._mask(sl) if need else None
+            return group_count(keys[sl], n_groups, m)
+
+        def reduce(parts):
+            if not parts:
+                return np.zeros(n_groups, dtype=np.int64)
+            return np.sum(parts, axis=0)
+
+        return kernel, reduce
+
+    def _group_sum(self):
+        keys, n_groups, column = self._keys, self._n_groups, self.req.column
+
+        def kernel(sl, need):
+            m = self._mask(sl) if need else None
+            return group_sum(keys[sl], self.table[column][sl], n_groups, m)
+
+        def reduce(parts):
+            if not parts:
+                return np.zeros(n_groups)
+            return np.sum(parts, axis=0)
+
+        return kernel, reduce
+
+    def _group_mean(self):
+        keys, n_groups, column = self._keys, self._n_groups, self.req.column
+
+        def kernel(sl, need):
+            m = self._mask(sl) if need else None
+            v = self.table[column][sl]
+            k = keys[sl]
+            return group_count(k, n_groups, m), group_sum(k, v, n_groups, m)
+
+        def reduce(parts):
+            counts = np.zeros(n_groups, dtype=np.int64)
+            sums = np.zeros(n_groups)
+            for c, s in parts:
+                counts += c
+                sums += s
+            with np.errstate(invalid="ignore", divide="ignore"):
+                return np.where(counts > 0, sums / counts, np.nan)
+
+        return kernel, reduce
+
+    def _group_stats(self):
+        keys, n_groups, column = self._keys, self._n_groups, self.req.column
+
+        def kernel(sl, need):
+            k = keys[sl]
+            v = self.table[column][sl]
+            if need:
+                m = self._mask(sl)
+                k, v = k[m], v[m]
+            return np.asarray(k), np.asarray(v)
+
+        def reduce(parts):
+            if parts:
+                k = np.concatenate([p[0] for p in parts])
+                v = np.concatenate([p[1] for p in parts])
+            else:
+                k = np.zeros(0, dtype=np.int64)
+                v = np.zeros(0)
+            return {
+                "min": group_min(k, v, n_groups),
+                "max": group_max(k, v, n_groups),
+                "mean": group_mean(k, v, n_groups),
+                "median": group_median(k, v, n_groups),
+            }
+
+        return kernel, reduce
+
+
+def compile_request(store: GdeltStore, req: QueryRequest) -> ExecutableOp:
+    """Compile one validated request into its executable form.
+
+    Raises:
+        KeyError / ValueError: unknown column or group key — surfaced
+        to the client as an ``error`` response, never a crash.
+    """
+    req.validate()
+    op = ExecutableOp(store, req)
+    # Fail fast on a bad column name instead of inside a worker kernel.
+    if req.column is not None and req.column not in op.table:
+        raise KeyError(
+            f"unknown column {req.column!r} for table {req.table!r}"
+        )
+    if req.where is not None:
+        missing = [c for c in req.where.columns() if c not in op.table]
+        if missing:
+            raise KeyError(
+                f"unknown filter column(s) {', '.join(sorted(missing))} "
+                f"for table {req.table!r}"
+            )
+    return op
+
+
+@dataclass(slots=True)
+class BatchItem:
+    """One unique (post-single-flight) request inside a fused batch."""
+
+    op: ExecutableOp
+    plan: Plan | None = None
+    value: object = None
+    error: Exception | None = None
+    #: Filled by the worker: rows this item's plan selected.
+    rows_planned: int = 0
+    extra: dict = field(default_factory=dict)
+
+
+def execute_batch(
+    items: list[BatchItem], executor: Executor, prune: bool = True
+) -> None:
+    """Plan, fuse, and execute a batch of unique requests in one pass.
+
+    Fills each item's ``value`` (or ``error``).  Items whose planning
+    fails are excluded from the fused scan; the survivors still run.
+    """
+    live: list[BatchItem] = []
+    for item in items:
+        try:
+            item.plan = item.op.plan(executor, prune=prune)
+            item.rows_planned = item.plan.rows_planned
+            live.append(item)
+        except Exception as exc:  # bad column resolved late, etc.
+            item.error = exc
+    if not live:
+        return
+
+    fused = fuse_plans([it.plan for it in live], getattr(executor, "n_workers", 1))
+    members_by_range = {
+        (u.rows.start, u.rows.stop): u.members for u in fused
+    }
+
+    def kernel(sl: slice):
+        members = members_by_range[(sl.start, sl.stop)]
+        return [
+            (idx, live[idx].op.partial(sl, need)) for idx, need in members
+        ]
+
+    try:
+        part_lists = executor.map_slices(kernel, [u.rows for u in fused])
+    except Exception as exc:  # injected aborts, kernel failures
+        for item in live:
+            item.error = exc
+        return
+
+    per_item: list[list] = [[] for _ in live]
+    for plist in part_lists:
+        for idx, part in plist:
+            per_item[idx].append(part)
+    for item, parts in zip(live, per_item):
+        try:
+            item.value = item.op.reduce(parts)
+        except Exception as exc:
+            item.error = exc

@@ -1,0 +1,219 @@
+"""Serving benchmark: naive sequential vs the batched concurrent service.
+
+One workload, two ways through the engine:
+
+* **naive** — a single-worker service with batching AND single-flight
+  disabled, driven by one client submitting sequentially.  Every
+  request stands alone: its own plan, its own scan.
+* **served** — the full service (shared-scan batching, single-flight
+  dedup, N workers) hammered by ``clients`` concurrent threads released
+  off one barrier.
+
+The workload mixes ``distinct`` filtered counts (distinct predicates →
+distinct cache keys → real scans that batching can fuse) with
+``dup_factor`` identical copies of each (concurrent duplicates →
+single-flight).  The result cache is invalidated before each side so
+both pay their scans; the served side's edge must come from fusion,
+dedup, and worker parallelism — which is exactly what the benchmark is
+certifying.
+
+A second, deliberately tiny service is then overloaded with
+short-deadline traffic to certify the backpressure story: admission
+control must shed (``RETRY_AFTER``/``QUEUE_FULL``) rather than queue
+unboundedly, and every submission must still resolve.
+
+``run_serve_bench`` returns the JSON-ready report the ``bench-serve``
+CLI and CI smoke write as ``BENCH_serve.json``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.engine.expr import parse_predicate
+from repro.engine.planner import result_cache
+from repro.engine.store import GdeltStore
+from repro.obs.profile import percentiles
+from repro.serve.request import QueryRequest
+from repro.serve.service import QueryService
+
+__all__ = ["build_workload", "run_serve_bench"]
+
+
+def build_workload(
+    distinct: int = 12, dup_factor: int = 4, group_every: int = 4
+) -> list[dict]:
+    """The benchmark request mix, as kwargs for :class:`QueryRequest`.
+
+    ``distinct`` unique filtered counts (every ``group_every``-th is a
+    grouped count instead, exercising the array path), each repeated
+    ``dup_factor`` times so concurrent execution has duplicates to
+    single-flight.  All values are integer counts — byte-comparable
+    between the naive and served runs regardless of morsel boundaries.
+    """
+    base: list[dict] = []
+    for i in range(distinct):
+        kw: dict = {
+            "table": "mentions",
+            "op": "count",
+            "where": parse_predicate(f"Delay > {8 * (i + 1)}"),
+        }
+        if group_every and i % group_every == group_every - 1:
+            kw["group_by"] = "Quarter"
+        base.append(kw)
+    return base * dup_factor
+
+
+def _value_key(value) -> str:
+    tobytes = getattr(value, "tobytes", None)
+    return tobytes().hex() if tobytes else repr(value)
+
+
+def _run_clients(
+    service: QueryService, workload: list[dict], clients: int
+) -> tuple[float, list[float], dict[int, str]]:
+    """Drive ``workload`` through ``service`` from ``clients`` threads.
+
+    Requests are dealt round-robin to the clients, submitted after a
+    barrier so arrival is genuinely concurrent.  Returns (wall seconds,
+    per-request latencies, workload-index → value fingerprint).
+    """
+    shards: list[list[tuple[int, dict]]] = [[] for _ in range(clients)]
+    for i, kw in enumerate(workload):
+        shards[i % clients].append((i, kw))
+    barrier = threading.Barrier(clients + 1)
+    latencies: list[float] = []
+    values: dict[int, str] = {}
+    failures: list[str] = []
+    lock = threading.Lock()
+
+    def client(shard: list[tuple[int, dict]], cid: int) -> None:
+        barrier.wait()
+        for i, kw in shard:
+            t0 = time.perf_counter()
+            resp = service.submit(
+                QueryRequest(client_id=f"bench-{cid}", **kw)
+            ).result(timeout=60.0)
+            dt = time.perf_counter() - t0
+            with lock:
+                latencies.append(dt)
+                if resp.ok:
+                    values[i] = _value_key(resp.value)
+                else:
+                    failures.append(f"{resp.status}:{resp.reason or resp.error}")
+
+    threads = [
+        threading.Thread(target=client, args=(shard, cid), daemon=True)
+        for cid, shard in enumerate(shards)
+        if shard
+    ]
+    for t in threads:
+        t.start()
+    barrier.wait()
+    t0 = time.perf_counter()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - t0
+    if failures:
+        raise AssertionError(f"benchmark requests failed: {failures[:3]}")
+    return wall, latencies, values
+
+
+def run_serve_bench(
+    store: GdeltStore,
+    clients: int = 32,
+    distinct: int = 12,
+    dup_factor: int = 4,
+    workers: int = 4,
+    scan_threads: int = 1,
+) -> dict:
+    """Measure naive vs batched serving on ``store``; return the report.
+
+    Raises:
+        AssertionError: when a correctness invariant fails (value
+            mismatch between the two sides, overload not shedding, a
+            submission left unresolved) — the benchmark doubles as an
+            acceptance check.
+    """
+    workload = build_workload(distinct=distinct, dup_factor=dup_factor)
+
+    # -- naive: sequential, one worker, no batching, no dedup -------------
+    result_cache().invalidate()
+    with QueryService(
+        store, workers=1, batching=False, single_flight=False
+    ) as naive:
+        naive_wall, naive_lat, naive_values = _run_clients(naive, workload, 1)
+        naive_stats = naive.stats()
+
+    # -- served: concurrent clients, fused scans, single-flight -----------
+    result_cache().invalidate()
+    with QueryService(
+        store, workers=workers, scan_threads=scan_threads, max_batch=32,
+        max_queue=4 * len(workload),
+    ) as served:
+        served_wall, served_lat, served_values = _run_clients(
+            served, workload, clients
+        )
+        served_stats = served.stats()
+
+    for i, fp in naive_values.items():
+        assert served_values[i] == fp, (
+            f"value mismatch at workload[{i}]: served != naive"
+        )
+
+    # -- overload: tiny queue, short deadlines → sheds, no hangs ----------
+    result_cache().invalidate()
+    overload_n = 4 * clients
+    with QueryService(store, workers=1, max_queue=4, max_batch=1) as tiny:
+        # Teach the EWMA a realistic service time so the deadline check
+        # has an estimate to work with from the first burst.
+        tiny.query("mentions", op="count", where=parse_predicate("Delay > 4"))
+        pendings = [
+            tiny.submit(
+                QueryRequest(
+                    table="mentions", op="count",
+                    where=parse_predicate(f"Delay > {i % 7}"),
+                    deadline_s=0.0005, client_id=f"burst-{i % 8}",
+                )
+            )
+            for i in range(overload_n)
+        ]
+        overload = [p.result(timeout=30.0) for p in pendings]
+        tiny_stats = tiny.stats()
+    shed_n = sum(1 for r in overload if r.status == "shed")
+    assert shed_n > 0, "overload burst produced no sheds"
+    assert all(r.status in ("ok", "shed") for r in overload)
+
+    speedup = naive_wall / served_wall if served_wall > 0 else float("inf")
+    return {
+        "bench": "serve",
+        "n_requests": len(workload),
+        "distinct": distinct,
+        "dup_factor": dup_factor,
+        "clients": clients,
+        "workers": workers,
+        "naive": {
+            "wall_seconds": round(naive_wall, 6),
+            "throughput_rps": round(len(workload) / naive_wall, 1),
+            "latency_s": percentiles(naive_lat),
+            "scans": naive_stats["scans"],
+        },
+        "served": {
+            "wall_seconds": round(served_wall, 6),
+            "throughput_rps": round(len(workload) / served_wall, 1),
+            "latency_s": percentiles(served_lat),
+            "scans": served_stats["scans"],
+            "dedup_hits": served_stats["dedup_hits"],
+            "cache_hits": served_stats["cache_hits"],
+            "batches": served_stats["batches"],
+            "peak_queue_depth": served_stats["peak_queue_depth"],
+        },
+        "speedup": round(speedup, 2),
+        "overload": {
+            "requests": overload_n,
+            "shed": shed_n,
+            "ok": sum(1 for r in overload if r.ok),
+            "shed_reasons": tiny_stats["shed_reasons"],
+        },
+    }

@@ -1,0 +1,121 @@
+"""Python client for the LDJSON serving protocol.
+
+A thin blocking client: one socket, one request in flight at a time
+per client instance (run several clients for concurrency — they are
+cheap).  ``query(..., retries=N)`` honours the server's shed hints:
+on a ``shed`` response it sleeps ``retry_after_s`` and resubmits, so a
+well-behaved client rides out transient overload instead of hammering
+the admission gate.
+
+Usage::
+
+    with ServeClient("127.0.0.1", 7311) as client:
+        resp = client.query(table="mentions", op="count",
+                            where=["Delay > 96"], deadline_s=2.0)
+        if resp["status"] == "ok":
+            print(resp["value"])
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+
+__all__ = ["ServeClient"]
+
+
+class ServeClient:
+    """Blocking LDJSON client for one serving endpoint.
+
+    Not thread-safe: each thread should own its own client (mirrors
+    one-connection-per-client admission accounting on the server).
+    """
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 7311,
+        timeout: float | None = 30.0, client_id: str | None = None,
+    ) -> None:
+        self.client_id = client_id
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._reader = self._sock.makefile("rb")
+        self._seq = 0
+
+    # -- protocol ----------------------------------------------------------
+
+    def call(self, obj: dict) -> dict:
+        """Send one raw wire object, return the reply dict."""
+        self._sock.sendall(json.dumps(obj).encode() + b"\n")
+        line = self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return json.loads(line)
+
+    def ping(self) -> bool:
+        return self.call({"kind": "ping"}).get("pong", False)
+
+    def stats(self) -> dict:
+        """The server's service profile (config + live counters)."""
+        return self.call({"kind": "stats"}).get("profile", {})
+
+    def query(
+        self,
+        table: str = "mentions",
+        op: str = "count",
+        where: list[str] | str | None = None,
+        column: str | None = None,
+        group_by: str | None = None,
+        time_range: tuple[int, int] | None = None,
+        priority: int = 1,
+        deadline_s: float | None = None,
+        retries: int = 0,
+        max_backoff_s: float = 5.0,
+    ) -> dict:
+        """Run one query; optionally retry sheds per the server's hint.
+
+        Returns the final wire response dict — possibly still
+        ``status="shed"`` once retries are exhausted.  Never raises for
+        overload; only for transport failures.
+        """
+        obj: dict = {"kind": "query", "table": table, "op": op}
+        if where:
+            obj["where"] = [where] if isinstance(where, str) else list(where)
+        if column is not None:
+            obj["column"] = column
+        if group_by is not None:
+            obj["group_by"] = group_by
+        if time_range is not None:
+            obj["time_range"] = [int(time_range[0]), int(time_range[1])]
+        if priority != 1:
+            obj["priority"] = priority
+        if deadline_s is not None:
+            obj["deadline_s"] = deadline_s
+        if self.client_id is not None:
+            obj["client_id"] = self.client_id
+        for attempt in range(retries + 1):
+            self._seq += 1
+            obj["id"] = f"c{self._seq}"
+            resp = self.call(obj)
+            if resp.get("status") != "shed" or attempt == retries:
+                return resp
+            wait = min(float(resp.get("retry_after_s") or 0.05), max_backoff_s)
+            time.sleep(wait)
+        return resp
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

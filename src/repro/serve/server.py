@@ -1,0 +1,176 @@
+"""Line-delimited-JSON socket front end for :class:`QueryService`.
+
+Wire protocol — one JSON object per line, both directions:
+
+Request::
+
+    {"kind": "query", "table": "mentions", "op": "count",
+     "where": ["Delay > 96"], "deadline_s": 2.0, "id": "q1"}
+
+``kind`` defaults to ``"query"``; ``"ping"`` and ``"stats"`` are the
+other verbs (liveness and the service profile).  The response mirrors
+:meth:`repro.serve.request.QueryResponse.to_wire`::
+
+    {"id": "q1", "status": "ok", "value": 1234, "stats": {...}}
+    {"id": "q2", "status": "shed", "reason": "RETRY_AFTER",
+     "retry_after_s": 0.25}
+
+Filters travel as textual predicate conjuncts and are parsed with the
+regex-only :func:`repro.engine.expr.parse_predicate` — a request line
+is data, never code.  One thread per connection (connections are
+long-lived and few; the concurrency story lives in the service's
+worker pool, not here).  Bind with ``port=0`` to get an ephemeral port
+(tests); ``server.port`` reports the bound one.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import socket
+import threading
+
+from repro.serve.request import request_from_wire
+from repro.serve.service import QueryService
+
+__all__ = ["ServeServer"]
+
+logger = logging.getLogger(__name__)
+
+#: Refuse request lines beyond this many bytes (a predicate list does
+#: not need megabytes; oversized lines are a client bug or abuse).
+MAX_LINE_BYTES = 64 * 1024
+
+
+class ServeServer:
+    """TCP LDJSON server wrapping one :class:`QueryService`.
+
+    The server owns its accept thread and one thread per live
+    connection, but NOT the service — callers create/close the service
+    so one service can back both in-process and socket traffic.
+    """
+
+    def __init__(
+        self, service: QueryService, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.service = service
+        self._sock = socket.create_server((host, port))
+        self.host, self.port = self._sock.getsockname()[:2]
+        self._stop = threading.Event()
+        self._conns: set[socket.socket] = set()
+        self._conns_lock = threading.Lock()
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="serve-accept", daemon=True
+        )
+        self._accept_thread.start()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self.host, self.port
+
+    # -- connection handling ----------------------------------------------
+
+    def _accept_loop(self) -> None:
+        client_seq = 0
+        while not self._stop.is_set():
+            try:
+                conn, peer = self._sock.accept()
+            except OSError:  # socket closed during shutdown
+                return
+            client_seq += 1
+            with self._conns_lock:
+                self._conns.add(conn)
+            threading.Thread(
+                target=self._serve_conn,
+                args=(conn, f"{peer[0]}:{peer[1]}"),
+                name=f"serve-conn-{client_seq}",
+                daemon=True,
+            ).start()
+
+    def _serve_conn(self, conn: socket.socket, peer: str) -> None:
+        try:
+            with conn, conn.makefile("rb") as reader:
+                for raw in reader:
+                    if self._stop.is_set():
+                        return
+                    if len(raw) > MAX_LINE_BYTES:
+                        self._send(conn, {"status": "error",
+                                          "error": "request line too large"})
+                        return
+                    line = raw.strip()
+                    if not line:
+                        continue
+                    reply = self._handle_line(line, peer)
+                    if not self._send(conn, reply):
+                        return
+        except OSError:
+            pass  # client went away mid-read/write
+        finally:
+            with self._conns_lock:
+                self._conns.discard(conn)
+
+    def _handle_line(self, line: bytes, peer: str) -> dict:
+        try:
+            obj = json.loads(line)
+        except ValueError:
+            return {"status": "error", "error": "malformed JSON"}
+        kind = obj.get("kind", "query") if isinstance(obj, dict) else "query"
+        if kind == "ping":
+            return {"status": "ok", "pong": True}
+        if kind == "stats":
+            return {"status": "ok", "profile": self.service.profile()}
+        if kind != "query":
+            return {"status": "error", "error": f"unknown kind {kind!r}"}
+        try:
+            req = request_from_wire(obj, client_id=peer)
+        except (ValueError, TypeError, KeyError) as exc:
+            return {
+                "id": obj.get("id") if isinstance(obj, dict) else None,
+                "status": "error",
+                "error": f"bad request: {exc}",
+            }
+        pending = self.service.submit(req)
+        # Block this connection's thread only; other connections and the
+        # service workers keep going.  Admission control bounds the wait.
+        return pending.result(timeout=None).to_wire()
+
+    @staticmethod
+    def _send(conn: socket.socket, obj: dict) -> bool:
+        try:
+            conn.sendall(json.dumps(obj).encode() + b"\n")
+            return True
+        except OSError:
+            return False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop accepting and drop live connections; idempotent.
+
+        Does not close the wrapped service (the caller owns it).
+        """
+        if self._stop.is_set():
+            return
+        self._stop.set()
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        with self._conns_lock:
+            conns = list(self._conns)
+        for conn in conns:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+        self._accept_thread.join(timeout=5.0)
+
+    def __enter__(self) -> "ServeServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

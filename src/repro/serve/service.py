@@ -1,0 +1,474 @@
+"""The concurrent query service: submission, scheduling, execution.
+
+:class:`QueryService` turns the single-caller engine into a
+multi-tenant server in three stages:
+
+1. **Admission** (:mod:`repro.serve.admission`) — every
+   :meth:`~QueryService.submit` passes the rate-limit / queue-bound /
+   deadline gate; rejected requests resolve immediately to ``shed``
+   responses and never touch the engine.
+2. **Scheduling** — one scheduler thread drains the priority queue in
+   batches, compiles each request, and single-flights identical ones
+   (same planner canonical key): one leader executes, duplicates attach
+   to its in-flight entry and receive copies of the same value.
+   Requests already past their deadline when dequeued are shed instead
+   of scanned.  Unique requests against the same table are grouped for
+   shared-scan fusion.
+3. **Execution** — worker threads pull batches, plan each member
+   through the zone-map planner, probe the process-wide result cache,
+   fuse the cache-missing remainder into one pass
+   (:func:`repro.serve.batcher.execute_batch`) on their own engine
+   executor, fill the cache, and resolve every waiter.
+
+Graceful drain: :meth:`~QueryService.close` stops admitting (late
+submissions shed with ``SHUTTING_DOWN``), waits for queued and
+in-flight work to finish, then stops the threads.
+
+The fault site ``serve.request`` fires on the execution path (key =
+request id), so a :mod:`repro.faults` plan can slow or abort specific
+requests to prove shedding kicks in and clients retry.
+"""
+
+from __future__ import annotations
+
+import logging
+import queue
+import threading
+import time
+from collections import deque
+
+from repro.engine.executor import Executor, SerialExecutor, ThreadExecutor
+from repro.engine.planner import _copy_value, result_cache
+from repro.engine.store import GdeltStore
+from repro.faults import injector as _faults
+from repro.obs import metrics as _metrics
+from repro.obs.profile import percentiles
+from repro.obs.trace import span as _span
+from repro.serve.admission import AdmissionController
+from repro.serve.batcher import BatchItem, ExecutableOp, compile_request, execute_batch
+from repro.serve.request import QueryRequest, QueryResponse
+
+__all__ = ["PendingRequest", "QueryService"]
+
+logger = logging.getLogger(__name__)
+
+#: How many completed-request latencies the service profile remembers.
+_LATENCY_WINDOW = 4096
+
+
+class PendingRequest:
+    """A submitted request's future response.
+
+    Returned by :meth:`QueryService.submit`; resolved exactly once —
+    possibly synchronously, for sheds and validation errors.
+    """
+
+    __slots__ = ("request", "arrival_s", "_event", "_response")
+
+    def __init__(self, request: QueryRequest) -> None:
+        self.request = request
+        self.arrival_s = time.monotonic()
+        self._event = threading.Event()
+        self._response: QueryResponse | None = None
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None) -> QueryResponse:
+        """Block until resolved.
+
+        Raises:
+            TimeoutError: if ``timeout`` elapses first (the request
+                itself stays pending and will still resolve).
+        """
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"request {self.request.id} not resolved within {timeout}s"
+            )
+        assert self._response is not None
+        return self._response
+
+    def _resolve(self, response: QueryResponse) -> None:
+        if self._event.is_set():  # first resolution wins
+            return
+        response.id = self.request.id
+        self._response = response
+        self._event.set()
+
+
+class _InFlight:
+    """Single-flight entry: the leader plus every attached duplicate."""
+
+    __slots__ = ("leader", "followers")
+
+    def __init__(self, leader: PendingRequest) -> None:
+        self.leader = leader
+        self.followers: list[PendingRequest] = []
+
+
+class QueryService:
+    """Thread-safe concurrent query serving over one read-only store.
+
+    Args:
+        store: the store to serve (never mutated).
+        workers: number of service worker threads (batches in flight
+            concurrently).
+        scan_threads: engine threads *per worker* for the fused scan;
+            1 keeps each worker serial (concurrency then comes from the
+            worker threads themselves — NumPy kernels drop the GIL).
+        max_queue / max_batch: admission queue bound and the largest
+            batch one scheduler pass forms.
+        rate_limit / burst: per-client token bucket (requests/second);
+            None disables rate limiting.
+        batching / single_flight: ablation switches — disable both to
+            get naive one-query-at-a-time serving for comparison.
+        default_deadline_s: applied to requests that carry none.
+        prune: forward zone-map pruning to the planner (ablation).
+    """
+
+    def __init__(
+        self,
+        store: GdeltStore,
+        workers: int = 2,
+        scan_threads: int = 1,
+        max_queue: int = 256,
+        max_batch: int = 16,
+        rate_limit: float | None = None,
+        burst: float | None = None,
+        batching: bool = True,
+        single_flight: bool = True,
+        default_deadline_s: float | None = None,
+        prune: bool = True,
+    ) -> None:
+        self.store = store
+        self.workers = max(1, workers)
+        self.max_batch = max(1, max_batch) if batching else 1
+        self.batching = batching
+        self.single_flight = single_flight
+        self.default_deadline_s = default_deadline_s
+        self.prune = prune
+        self.admission = AdmissionController(
+            max_queue=max_queue,
+            workers=self.workers,
+            rate_limit=rate_limit,
+            burst=burst,
+        )
+        self._inflight: dict[tuple, _InFlight] = {}
+        self._inflight_lock = threading.Lock()
+        self._batches: "queue.Queue" = queue.Queue()
+        self._lock = threading.Lock()
+        self._latencies: deque[float] = deque(maxlen=_LATENCY_WINDOW)
+        self._counts: dict[str, int] = {
+            "submitted": 0, "ok": 0, "shed": 0, "error": 0,
+            "dedup_hits": 0, "cache_hits": 0, "scans": 0, "batches": 0,
+        }
+        self._started_s = time.monotonic()
+        self._closed = False
+        self._stop = threading.Event()
+
+        def make_executor() -> Executor:
+            if scan_threads <= 1:
+                return SerialExecutor()
+            return ThreadExecutor(scan_threads)
+
+        self._executors = [make_executor() for _ in range(self.workers)]
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop, args=(ex,), name=f"serve-worker-{i}",
+                daemon=True,
+            )
+            for i, ex in enumerate(self._executors)
+        ]
+        self._scheduler = threading.Thread(
+            target=self._scheduler_loop, name="serve-scheduler", daemon=True
+        )
+        for t in self._threads:
+            t.start()
+        self._scheduler.start()
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, request: QueryRequest) -> PendingRequest:
+        """Thread-safe submission; always returns a pending response.
+
+        Sheds and validation failures resolve synchronously; admitted
+        requests resolve when a worker (or an in-flight leader) does.
+        """
+        pending = PendingRequest(request)
+        self._count("submitted")
+        if self._closed:
+            self._shed(pending, "SHUTTING_DOWN", 1.0)
+            return pending
+        try:
+            request.validate()
+        except ValueError as exc:
+            self._error(pending, exc)
+            return pending
+        if request.deadline_s is None and self.default_deadline_s is not None:
+            request.deadline_s = self.default_deadline_s
+        rejected = self.admission.offer(
+            pending, request.client_id, request.priority, request.deadline_s
+        )
+        if rejected is not None:
+            reason, retry_after = rejected
+            self._shed(pending, reason, retry_after)
+        return pending
+
+    def query(
+        self, table: str = "mentions", timeout: float | None = 30.0, **kw
+    ) -> QueryResponse:
+        """Synchronous convenience wrapper around :meth:`submit`."""
+        return self.submit(QueryRequest(table=table, **kw)).result(timeout)
+
+    # -- scheduling --------------------------------------------------------
+
+    def _scheduler_loop(self) -> None:
+        while not self._stop.is_set():
+            taken = self.admission.take(self.max_batch, timeout=0.1)
+            if not taken:
+                continue
+            now = time.monotonic()
+            leaders: list[tuple[PendingRequest, ExecutableOp]] = []
+            for pending in taken:
+                req = pending.request
+                # Expired in line: shed instead of wasting a scan.
+                if (
+                    req.deadline_s is not None
+                    and now - pending.arrival_s > req.deadline_s
+                ):
+                    self._shed(
+                        pending, "RETRY_AFTER",
+                        max(self.admission.ewma_service_s, 0.001),
+                    )
+                    self.admission.done()
+                    continue
+                try:
+                    op = compile_request(self.store, req)
+                except Exception as exc:
+                    self._error(pending, exc)
+                    self.admission.done()
+                    continue
+                if self.single_flight and self._attach_duplicate(pending, op.key):
+                    continue
+                leaders.append((pending, op))
+            if not leaders:
+                continue
+            if self.batching:
+                groups: dict[str, list] = {}
+                for entry in leaders:
+                    groups.setdefault(entry[1].req.table, []).append(entry)
+                for group in groups.values():
+                    self._batches.put(group)
+            else:
+                for entry in leaders:
+                    self._batches.put([entry])
+
+    def _attach_duplicate(self, pending: PendingRequest, key: tuple | None) -> bool:
+        """Attach to an identical in-flight request; True if attached.
+
+        A ``None`` key (unfingerprintable request) is never
+        single-flighted.  When no identical request is in flight, this
+        registers ``pending`` as the new leader for ``key``.
+        """
+        if key is None:
+            return False
+        with self._inflight_lock:
+            entry = self._inflight.get(key)
+            if entry is not None:
+                entry.followers.append(pending)
+                self._count("dedup_hits")
+                _metrics.counter("serve_dedup_total").inc()
+                return True
+            self._inflight[key] = _InFlight(pending)
+            return False
+
+    def _pop_flight(
+        self, key: tuple | None, leader: PendingRequest
+    ) -> list[PendingRequest]:
+        """Leader + every duplicate attached while it executed."""
+        if key is None:
+            return [leader]
+        with self._inflight_lock:
+            entry = self._inflight.pop(key, None)
+        if entry is None:
+            return [leader]
+        return [entry.leader, *entry.followers]
+
+    # -- execution ---------------------------------------------------------
+
+    def _worker_loop(self, executor: Executor) -> None:
+        while True:
+            batch = self._batches.get()
+            if batch is None:  # shutdown sentinel
+                return
+            try:
+                self._execute(batch, executor)
+            except Exception as exc:
+                logger.exception("serve worker batch failed")
+                for pending, op in batch:
+                    for waiter in self._pop_flight(op.key, pending):
+                        self._error(waiter, exc)
+                        self.admission.done()
+
+    def _execute(
+        self, batch: list[tuple[PendingRequest, ExecutableOp]], executor: Executor
+    ) -> None:
+        t_start = time.monotonic()
+        items: list[BatchItem] = []
+        for pending, op in batch:
+            item = BatchItem(op=op)
+            items.append(item)
+            try:
+                # The injectable request-path fault site: ``slow`` here
+                # inflates service time until shedding engages; ``abort``
+                # turns into an error response the client can retry.
+                _faults.fault_point("serve.request", key=str(pending.request.id))
+            except Exception as exc:
+                item.error = exc
+
+        # Result-cache probe: hits complete without scanning.
+        cache = result_cache()
+        to_scan: list[BatchItem] = []
+        for item in items:
+            if item.error is not None:
+                continue
+            hit = cache.get(item.op.key) if item.op.key is not None else None
+            if hit is not None:
+                item.value = hit
+                item.extra["cache"] = "hit"
+                self._count("cache_hits")
+                _metrics.counter("serve_cache_hits_total").inc()
+            else:
+                item.extra["cache"] = "miss"
+                to_scan.append(item)
+
+        if to_scan:
+            with _span(
+                "serve.batch", table=to_scan[0].op.req.table, size=len(to_scan)
+            ):
+                execute_batch(to_scan, executor, prune=self.prune)
+            self._count("scans", len(to_scan))
+            _metrics.counter("serve_scans_total").inc(len(to_scan))
+            for item in to_scan:
+                if item.error is None and item.op.key is not None:
+                    cache.put(item.op.key, item.value)
+        self._count("batches")
+        _metrics.histogram("serve_batch_size").observe(len(batch))
+
+        exec_s = time.monotonic() - t_start
+        _metrics.histogram("serve_exec_seconds").observe(exec_s)
+        self.admission.observe_service(exec_s / len(batch))
+
+        now = time.monotonic()
+        for (pending, op), item in zip(batch, items):
+            queue_delay = t_start - pending.arrival_s
+            _metrics.histogram("serve_queue_delay_seconds").observe(queue_delay)
+            waiters = self._pop_flight(op.key, pending)
+            if item.error is not None:
+                for waiter in waiters:
+                    self._error(waiter, item.error)
+                    self.admission.done()
+                continue
+            stats = {
+                "queue_delay_s": round(queue_delay, 6),
+                "exec_s": round(exec_s, 6),
+                "batch_size": len(batch),
+                "cache": item.extra.get("cache", "miss"),
+                "rows_planned": item.rows_planned,
+            }
+            for i, waiter in enumerate(waiters):
+                value = item.value if i == 0 else _copy_value(item.value)
+                self._resolve_ok(waiter, value, dict(stats, deduped=i > 0), now)
+                self.admission.done()
+
+    # -- resolution --------------------------------------------------------
+
+    def _count(self, key: str, n: int = 1) -> None:
+        with self._lock:
+            self._counts[key] = self._counts.get(key, 0) + n
+
+    def _resolve_ok(
+        self, pending: PendingRequest, value, stats: dict, now: float
+    ) -> None:
+        with self._lock:
+            self._latencies.append(now - pending.arrival_s)
+            self._counts["ok"] += 1
+        _metrics.counter("serve_requests_total", status="ok").inc()
+        pending._resolve(QueryResponse(status="ok", value=value, stats=stats))
+
+    def _shed(self, pending: PendingRequest, reason: str, retry_after: float) -> None:
+        self._count("shed")
+        _metrics.counter("serve_requests_total", status="shed").inc()
+        pending._resolve(
+            QueryResponse(status="shed", reason=reason, retry_after_s=retry_after)
+        )
+
+    def _error(self, pending: PendingRequest, exc: Exception) -> None:
+        self._count("error")
+        _metrics.counter("serve_requests_total", status="error").inc()
+        pending._resolve(
+            QueryResponse(status="error", error=f"{type(exc).__name__}: {exc}")
+        )
+
+    # -- introspection -----------------------------------------------------
+
+    def stats(self) -> dict:
+        """Point-in-time service counters (the serving profile's core)."""
+        with self._lock:
+            counts = dict(self._counts)
+            lat = list(self._latencies)
+        return {
+            **counts,
+            "queue_depth": self.admission.depth(),
+            "peak_queue_depth": self.admission.peak_depth,
+            "shed_reasons": dict(self.admission.shed_counts),
+            "ewma_service_s": round(self.admission.ewma_service_s, 6),
+            "latency": percentiles(lat),
+            "uptime_s": round(time.monotonic() - self._started_s, 3),
+            "workers": self.workers,
+        }
+
+    def profile(self) -> dict:
+        """The service profile: stats plus configuration, JSON-ready."""
+        return {
+            "kind": "service_profile",
+            "config": {
+                "workers": self.workers,
+                "max_batch": self.max_batch,
+                "max_queue": self.admission.max_queue,
+                "rate_limit": self.admission.rate_limit,
+                "batching": self.batching,
+                "single_flight": self.single_flight,
+                "default_deadline_s": self.default_deadline_s,
+            },
+            "stats": self.stats(),
+        }
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self, drain: bool = True, timeout: float = 30.0) -> None:
+        """Stop the service; idempotent.
+
+        ``drain=True`` (default) finishes queued and in-flight work
+        first; late submissions shed with ``SHUTTING_DOWN`` either way.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if drain:
+            self.admission.wait_idle(timeout)
+        self._stop.set()
+        self.admission.wake_all()
+        self._scheduler.join(timeout=5.0)
+        for _ in self._threads:
+            self._batches.put(None)
+        for t in self._threads:
+            t.join(timeout=5.0)
+        for ex in self._executors:
+            ex.close()
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -211,3 +211,70 @@ class TestProfileCommand:
         text = out.read_text()
         assert "# TYPE repro_rows_scanned_total counter" in text
         assert "repro_chunk_seconds_bucket" in text
+
+
+class TestServeCommands:
+    def test_serve_end_to_end_with_sigint(self, tiny_binary, tmp_path):
+        import os
+        import re
+        import signal
+        import subprocess
+        import sys
+        import time
+
+        from pathlib import Path
+
+        import repro
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(Path(repro.__file__).resolve().parents[1])
+        env.pop("REPRO_FAULTS", None)
+        metrics = tmp_path / "serve.prom"
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve", str(tiny_binary),
+             "--port", "0", "--workers", "2", "--metrics-out", str(metrics)],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=env,
+        )
+        try:
+            line = proc.stdout.readline()
+            m = re.match(r"listening on ([\d.]+):(\d+)", line)
+            assert m, f"unexpected banner: {line!r}"
+            host, port = m.group(1), int(m.group(2))
+
+            from repro.serve import ServeClient
+
+            with ServeClient(host, port) as client:
+                assert client.ping()
+                resp = client.query(table="mentions", op="count")
+                assert resp["status"] == "ok" and resp["value"] > 0
+                grouped = client.query(
+                    table="mentions", op="count", group_by="Quarter"
+                )
+                assert grouped["status"] == "ok"
+                assert sum(grouped["value"]) == resp["value"]
+            proc.send_signal(signal.SIGINT)
+            assert proc.wait(timeout=30.0) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10.0)
+        # --metrics-out wrote the registry on clean shutdown.
+        text = metrics.read_text()
+        assert "repro_serve_requests_total" in text
+
+    def test_bench_serve_writes_report(self, tiny_binary, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "BENCH_serve.json"
+        rc = main([
+            "bench-serve", str(tiny_binary), "--clients", "4",
+            "--distinct", "4", "--dup-factor", "2", "--workers", "2",
+            "--out", str(out),
+        ])
+        assert rc == 0
+        report = json.loads(out.read_text())
+        assert report["bench"] == "serve"
+        assert report["served"]["throughput_rps"] > 0
+        assert report["overload"]["shed"] > 0
+        assert set(report["served"]["latency_s"]) == {"p50", "p95", "p99"}
+        assert "speedup" in capsys.readouterr().out

@@ -316,6 +316,43 @@ class TestResultCache:
         assert cache.invalidate("tokA") == 1
         assert cache.get((("tokB", 0), "y")) == 2
 
+    def test_concurrent_hammering_is_safe(self):
+        """Regression: the process-wide LRU is shared by every serving
+        worker; unsynchronized gets/puts/evictions used to corrupt the
+        OrderedDict under free-threaded access."""
+        import threading
+
+        cache = QueryCache(capacity=32)
+        errors: list[Exception] = []
+        start = threading.Barrier(8)
+
+        def hammer(seed: int) -> None:
+            try:
+                start.wait(timeout=10.0)
+                for i in range(2_000):
+                    key = ("k", (seed * 7 + i) % 64)
+                    hit = cache.get(key)
+                    if hit is not None:
+                        assert hit == key[1]
+                    cache.put(key, key[1])
+                    if i % 500 == seed % 500:
+                        cache.invalidate()
+            except Exception as exc:  # noqa: BLE001 - re-raised via errors
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(s,), daemon=True)
+            for s in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60.0)
+        assert not errors, errors[:3]
+        stats = cache.stats()
+        assert stats["size"] <= 32
+        assert stats["hits"] + stats["misses"] == 8 * 2_000
+
 
 class TestExplain:
     def test_explain_reports_pruning_and_cache(self, zstore, _fresh_cache):

@@ -247,3 +247,92 @@ class TestExplain:
         with ThreadExecutor(3) as ex:
             plan = Query(tiny_store, "mentions").with_executor(ex).explain()
         assert "ThreadExecutor x3" in plan
+
+
+class TestConcurrentQueries:
+    """The store's documented thread-safety contract: any number of
+    threads may run ``store.query(...)`` terminals concurrently (the
+    serving layer does exactly this), with results identical to a
+    serial run and no derived-index corruption."""
+
+    def test_parallel_terminals_match_serial(self, tiny_ds):
+        from repro.ingest.direct import dataset_to_arrays
+        import threading
+
+        # A private store so this test exercises first-touch races on
+        # the lazily built derived indices, not tiny_store's warm ones.
+        events, mentions, dicts = dataset_to_arrays(tiny_ds, include_urls=True)
+        store = GdeltStore.from_arrays(events, mentions, dicts)
+
+        def work(i: int):
+            q = store.query("mentions")
+            if i % 4 == 0:
+                return q.count().value
+            if i % 4 == 1:
+                return q.filter(col("Delay") > 96).count().value
+            if i % 4 == 2:
+                return q.group_by("SourceCountry").count().value.tobytes()
+            return q.filter(col("Confidence") >= 20).sum("Delay").value
+
+        expected = [work(i) for i in range(4)]
+        results: dict[int, object] = {}
+        errors: list[Exception] = []
+        start = threading.Barrier(16)
+
+        def runner(i: int) -> None:
+            try:
+                start.wait(timeout=10.0)
+                results[i] = work(i)
+            except Exception as exc:  # noqa: BLE001 - re-raised via errors
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=runner, args=(i,), daemon=True)
+            for i in range(16)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60.0)
+        assert not errors, errors[:3]
+        assert len(results) == 16
+        for i, value in results.items():
+            assert value == expected[i % 4], f"thread {i} diverged"
+
+    def test_invalidate_races_with_queries(self, tiny_ds):
+        from repro.ingest.direct import dataset_to_arrays
+        import threading
+
+        events, mentions, dicts = dataset_to_arrays(tiny_ds, include_urls=True)
+        store = GdeltStore.from_arrays(events, mentions, dicts)
+        expected = store.query("mentions").filter(col("Delay") > 48).count().value
+        stop = threading.Event()
+        errors: list[Exception] = []
+
+        def invalidator() -> None:
+            while not stop.is_set():
+                store.invalidate()
+
+        def querier() -> None:
+            try:
+                for _ in range(50):
+                    got = (
+                        store.query("mentions")
+                        .filter(col("Delay") > 48)
+                        .count()
+                        .value
+                    )
+                    assert got == expected
+            except Exception as exc:  # noqa: BLE001 - re-raised via errors
+                errors.append(exc)
+
+        inv = threading.Thread(target=invalidator, daemon=True)
+        workers = [threading.Thread(target=querier, daemon=True) for _ in range(4)]
+        inv.start()
+        for t in workers:
+            t.start()
+        for t in workers:
+            t.join(timeout=60.0)
+        stop.set()
+        inv.join(timeout=10.0)
+        assert not errors, errors[:3]

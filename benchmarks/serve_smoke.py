@@ -9,7 +9,11 @@ runs the serving benchmark, and asserts the serving contract:
 * batched concurrent serving beats naive sequential serving by >= 2x
   wall-clock throughput on the mixed workload;
 * an overloaded tiny service sheds (``RETRY_AFTER``/``QUEUE_FULL``)
-  instead of hanging, and every submission still resolves.
+  instead of hanging, and every submission still resolves;
+* worker-side counters from forked ``ProcessExecutor`` workers merge
+  into the parent registry (cross-process telemetry aggregation);
+* the live ops plane answers ``/metrics`` mid-burst — the scrape is
+  saved to ``benchmarks/out/serve_metrics.prom`` as a CI artifact.
 
 Emits ``benchmarks/out/BENCH_serve.json`` with the measured numbers.
 
@@ -20,18 +24,22 @@ from __future__ import annotations
 
 import json
 import time
+import urllib.request
 from pathlib import Path
 
 import numpy as np
 
+import repro.obs as obs
 from repro.engine import GdeltStore, result_cache
 from repro.engine.expr import parse_predicate
 from repro.ingest.direct import dataset_to_arrays
-from repro.serve import QueryRequest, QueryService
+from repro.obs import metrics as _metrics
+from repro.serve import OpsServer, QueryRequest, QueryService
 from repro.serve.bench import run_serve_bench
 from repro.synth import generate_dataset, small_config
 
 OUT = Path(__file__).parent / "out" / "BENCH_serve.json"
+METRICS_OUT = Path(__file__).parent / "out" / "serve_metrics.prom"
 ZONE_CHUNK_ROWS = 4_096
 #: Same tiling trick as the planner smoke: big enough that scan cost
 #: dominates per-request overhead, cheap enough for CI.
@@ -40,16 +48,31 @@ SPEEDUP_FLOOR = 2.0
 
 
 def check_single_flight(store: GdeltStore) -> dict:
-    """N identical concurrent requests must cost exactly one scan."""
+    """N identical concurrent requests must cost exactly one scan.
+
+    The ops plane rides along: ``/metrics`` is scraped while the burst
+    is still in flight, proving exposition works against a live (not
+    idle) service, and the scrape is saved as a CI artifact.
+    """
     pred = parse_predicate("Delay > 48")
     with QueryService(store, workers=2, max_batch=64, max_queue=256) as svc:
         result_cache().invalidate()
-        pendings = [
-            svc.submit(QueryRequest(table="mentions", op="count", where=pred))
-            for _ in range(48)
-        ]
-        responses = [p.result(timeout=60.0) for p in pendings]
+        with OpsServer(svc) as ops:
+            pendings = [
+                svc.submit(QueryRequest(table="mentions", op="count", where=pred))
+                for _ in range(48)
+            ]
+            # Scrape mid-burst: submissions are queued/executing right now.
+            url = f"http://{ops.host}:{ops.port}/metrics"
+            with urllib.request.urlopen(url, timeout=10.0) as resp:
+                assert resp.status == 200, f"/metrics -> {resp.status}"
+                scrape = resp.read().decode()
+            responses = [p.result(timeout=60.0) for p in pendings]
         stats = svc.stats()
+    assert "repro_serve_queue_depth" in scrape, "scrape missing queue gauge"
+    METRICS_OUT.parent.mkdir(exist_ok=True)
+    METRICS_OUT.write_text(scrape, encoding="utf-8")
+    print(f"mid-run /metrics scrape ({len(scrape)} bytes) -> {METRICS_OUT}")
     assert all(r.ok for r in responses), "dedup burst had failures"
     assert len({r.value for r in responses}) == 1, "dedup burst diverged"
     assert stats["scans"] == 1, (
@@ -69,6 +92,38 @@ def check_single_flight(store: GdeltStore) -> dict:
     }
 
 
+def check_worker_telemetry() -> dict:
+    """Counters incremented inside forked workers must reach the parent.
+
+    ``ProcessExecutor`` counts scanned rows *in the child* and ships a
+    registry delta back over the result pipe; if the merge path breaks,
+    the parent-side counter stops moving and this check fails.
+    """
+    from repro.engine.executor import ProcessExecutor
+
+    n_rows, chunk_rows = 200_000, 25_000
+    obs.enable()
+    try:
+        counter = _metrics.counter("rows_scanned_total", executor="ProcessExecutor")
+        before = counter.value
+        ex = ProcessExecutor(2)
+        parts = ex.map_chunks(lambda sl: sl.stop - sl.start, n_rows, chunk_rows)
+        ex.close()
+        shipped = counter.value - before
+    finally:
+        obs.disable()
+    assert sum(parts) == n_rows, "fork pool lost rows"
+    assert shipped == n_rows, (
+        f"worker-side rows_scanned_total did not reach the parent registry: "
+        f"expected +{n_rows}, saw +{shipped:g}"
+    )
+    print(
+        f"worker telemetry: {n_rows:,} rows counted inside forked workers, "
+        f"+{shipped:g} visible in the parent registry"
+    )
+    return {"rows": n_rows, "shipped": int(shipped)}
+
+
 def main() -> int:
     print("building tiled synthetic store ...")
     events, mentions, dicts = dataset_to_arrays(generate_dataset(small_config()))
@@ -79,11 +134,13 @@ def main() -> int:
     print(f"mentions table: {store.n_mentions:,} rows (tiled x{TILE})")
 
     dedup = check_single_flight(store)
+    worker_telemetry = check_worker_telemetry()
 
     t0 = time.perf_counter()
     report = run_serve_bench(store, clients=32, distinct=12, dup_factor=4,
                              workers=4)
     report["single_flight"] = dedup
+    report["worker_telemetry"] = worker_telemetry
     naive, served = report["naive"], report["served"]
     print(
         f"naive:  {naive['throughput_rps']:.0f} req/s ({naive['scans']} scans)"

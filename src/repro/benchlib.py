@@ -258,9 +258,14 @@ def fig12_scaling(
     for p in points:
         util = f"{p.profile.utilization():.2f}" if p.profile else "-"
         imb = f"{p.profile.imbalance():.2f}" if p.profile else "-"
-        rows.append((p.threads, p.seconds, p.speedup, p.kind, util, imb))
+        p95 = (
+            f"{p.profile.chunk_percentiles()['p95'] * 1e3:.2f}"
+            if p.profile
+            else "-"
+        )
+        rows.append((p.threads, p.seconds, p.speedup, p.kind, util, imb, p95))
     text = an.render_table(
-        ["threads", "seconds", "speedup", "kind", "util", "imbalance"],
+        ["threads", "seconds", "speedup", "kind", "util", "imbalance", "chunk_p95_ms"],
         rows,
         title="Aggregated country query scaling (Fig 12)",
     )

@@ -208,6 +208,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--default-deadline", type=float, default=None,
         help="deadline seconds applied to requests that carry none",
     )
+    sv.add_argument(
+        "--ops-port", type=int, default=None,
+        help="also serve the HTTP ops plane (/metrics, /healthz, /readyz, "
+        "/varz, /tracez) on this port; enables observability; 0 picks "
+        "an ephemeral port",
+    )
+    sv.add_argument(
+        "--slo-latency", type=float, default=0.5,
+        help="latency SLO threshold in seconds (default 0.5)",
+    )
+    sv.add_argument(
+        "--slo-target", type=float, default=0.99,
+        help="fraction of requests that must meet the latency SLO "
+        "(default 0.99)",
+    )
     add_metrics_out(sv)
 
     bs = sub.add_parser(
@@ -475,9 +490,26 @@ def _cmd_explain(args) -> int:
 
 def _cmd_serve(args) -> int:
     from repro.engine import GdeltStore
-    from repro.serve import QueryService, ServeServer
+    from repro.obs.telemetry import (
+        SloTracker,
+        default_serve_objectives,
+        install_signal_dump,
+    )
+    from repro.serve import OpsServer, QueryService, ServeServer
+
+    if args.ops_port is not None:
+        # The ops plane is only useful with live telemetry behind it.
+        import repro.obs as obs
+
+        obs.enable()
+    install_signal_dump()
 
     store = GdeltStore.open(args.dataset)
+    slo = SloTracker(
+        default_serve_objectives(
+            latency_threshold_s=args.slo_latency, target=args.slo_target
+        )
+    )
     service = QueryService(
         store,
         workers=args.workers,
@@ -486,14 +518,21 @@ def _cmd_serve(args) -> int:
         max_batch=args.max_batch,
         rate_limit=args.rate_limit,
         default_deadline_s=args.default_deadline,
+        slo=slo,
     )
     server = ServeServer(service, host=args.host, port=args.port)
+    ops = None
+    if args.ops_port is not None:
+        ops = OpsServer(service, host=args.host, port=args.ops_port)
+        logger.info("ops plane on http://%s:%d/metrics", ops.host, ops.port)
     logger.info(
         "serving %s on %s:%d (%d workers, queue %d, batch %d)",
         args.dataset, server.host, server.port, args.workers,
         args.max_queue, args.max_batch,
     )
     print(f"listening on {server.host}:{server.port}", flush=True)
+    if ops is not None:
+        print(f"ops on {ops.host}:{ops.port}", flush=True)
     try:
         while True:
             time.sleep(1.0)
@@ -502,6 +541,8 @@ def _cmd_serve(args) -> int:
     finally:
         server.close()
         service.close(drain=True)
+        if ops is not None:
+            ops.close()
         stats = service.stats()
         logger.info(
             "served %d requests (%d ok, %d shed, %d error), %d scans",

@@ -45,6 +45,7 @@ from repro.faults import injector as _faults
 from repro.faults.injector import TransientFault
 from repro.obs import metrics as _metrics
 from repro.obs import state as _obs
+from repro.obs import telemetry as _telemetry
 from repro.obs.profile import ProfileCollector
 from repro.obs.trace import span as _span
 from repro.obs.trace import tracer as _tracer
@@ -106,6 +107,10 @@ class Executor:
     n_workers: int = 1
     #: Optional per-chunk retry policy (set by subclass constructors).
     retry: ChunkRetryPolicy | None = None
+    #: True when workers count ``rows_scanned_total`` themselves and ship
+    #: it back via the telemetry delta (ProcessExecutor) — the parent
+    #: must then not double-count it.
+    _rows_counted_in_child: bool = False
 
     def _maybe_resilient(
         self, kernel: Callable[[slice], T]
@@ -139,6 +144,12 @@ class Executor:
                     if attempt >= policy.max_attempts:
                         raise
                     _metrics.counter("chunk_retries_total", executor=name).inc()
+                    _telemetry.flight().record(
+                        "chunk_retry",
+                        executor=name,
+                        chunk=f"{sl.start}:{sl.stop}",
+                        attempt=attempt,
+                    )
                     if policy.backoff_s:
                         time.sleep(policy.backoff_s * attempt)
 
@@ -227,7 +238,8 @@ class Executor:
             rows = sum(sl.stop - sl.start for sl in chunks)
             _metrics.counter("executor_map_calls_total", executor=name).inc()
             _metrics.counter("executor_chunks_total", executor=name).inc(len(chunks))
-            _metrics.counter("rows_scanned_total", executor=name).inc(rows)
+            if not self._rows_counted_in_child:
+                _metrics.counter("rows_scanned_total", executor=name).inc(rows)
             hist = _metrics.histogram("chunk_seconds", executor=name)
             busy = 0.0
             for c in collector.timings():
@@ -372,7 +384,13 @@ def _pool_worker(wid: int, task_q, result_q) -> None:
 
 @dataclass(slots=True)
 class _ForkChunk:
-    """A chunk result measured inside a forked worker (pickled back)."""
+    """A chunk result measured inside a forked worker (pickled back).
+
+    ``telemetry`` carries the compact metrics/span delta the worker
+    recorded while running this chunk (None when it recorded nothing or
+    observability is off) — the parent folds it into its own registry
+    and tracer so worker-side telemetry survives the child's exit.
+    """
 
     result: object
     start_row: int
@@ -380,6 +398,7 @@ class _ForkChunk:
     t0_ns: int
     t1_ns: int
     pid: int
+    telemetry: object | None = None
 
 
 class ProcessExecutor(Executor):
@@ -398,6 +417,8 @@ class ProcessExecutor(Executor):
     worker — whichever copy finishes first wins.
     """
 
+    _rows_counted_in_child = True
+
     def __init__(
         self,
         n_workers: int | None = None,
@@ -413,12 +434,26 @@ class ProcessExecutor(Executor):
     def _wrap(self, kernel, collector, parent):
         # Timings are taken inside the child and shipped back with the
         # partial; perf_counter_ns is CLOCK_MONOTONIC-based on Linux, so
-        # child timestamps share the parent's timeline.
+        # child timestamps share the parent's timeline.  With obs on,
+        # the child also counts its own scanned rows and captures a
+        # registry/tracer delta around the kernel, so metrics and spans
+        # recorded inside the fork ride the result pipe back instead of
+        # dying with the worker.
+        ship_telemetry = _obs._enabled
+
         def wrapped(sl: slice) -> _ForkChunk:
+            baseline = _telemetry.capture_baseline() if ship_telemetry else None
             t0 = time.perf_counter_ns()
             result = kernel(sl)
+            t1 = time.perf_counter_ns()
+            delta = None
+            if ship_telemetry:
+                _metrics.counter(
+                    "rows_scanned_total", executor="ProcessExecutor"
+                ).inc(sl.stop - sl.start)
+                delta = _telemetry.capture_delta(baseline)
             return _ForkChunk(
-                result, sl.start, sl.stop, t0, time.perf_counter_ns(), os.getpid()
+                result, sl.start, sl.stop, t0, t1, os.getpid(), delta
             )
 
         return wrapped
@@ -437,6 +472,7 @@ class ProcessExecutor(Executor):
                     "executor.chunk", item.t0_ns, item.t1_ns, parent=parent,
                     thread_name=worker, rows=item.stop_row - item.start_row,
                 )
+            _telemetry.merge_worker_telemetry(item.telemetry, parent=parent)
             out.append(item.result)
         return out
 
@@ -522,6 +558,12 @@ class ProcessExecutor(Executor):
                     del workers[wid]
                     held = in_flight.pop(wid, None)
                     _metrics.counter("executor_workers_died_total").inc()
+                    _telemetry.flight().record(
+                        "worker_death",
+                        wid=wid,
+                        exitcode=p.exitcode,
+                        chunk=held[0] if held else None,
+                    )
                     logger.warning(
                         "fork worker %d died (exit %s)%s",
                         wid, p.exitcode,
@@ -529,6 +571,9 @@ class ProcessExecutor(Executor):
                     )
                     if held is not None and not have[held[0]]:
                         _metrics.counter("chunks_redispatched_total").inc()
+                        _telemetry.flight().record(
+                            "chunk_redispatch", wid=wid, chunk=held[0]
+                        )
                         dispatch(held[0])
                     if all(have):
                         break
@@ -548,6 +593,12 @@ class ProcessExecutor(Executor):
                         if now - t0 > self.straggler_deadline_s:
                             relaunched.add(idx)
                             _metrics.counter("stragglers_relaunched_total").inc()
+                            _telemetry.flight().record(
+                                "straggler_relaunch",
+                                wid=wid,
+                                chunk=idx,
+                                running_s=round(now - t0, 3),
+                            )
                             logger.warning(
                                 "chunk %d straggling on worker %d "
                                 "(%.2fs > %.2fs); duplicating",
@@ -567,5 +618,11 @@ class ProcessExecutor(Executor):
             task_q.close()
             result_q.close()
         if error is not None:
+            # Post-mortem state (worker deaths, redispatches, recent
+            # spans) must survive the abort — dump before raising.
+            _telemetry.flight().record(
+                "pool_abort", error=f"{type(error).__name__}: {error}"
+            )
+            _telemetry.crash_dump(f"ProcessExecutor abort: {type(error).__name__}")
             raise error
         return results

@@ -29,6 +29,7 @@ from pathlib import Path
 
 from repro.faults.plan import FaultPlan, FaultSpec
 from repro.obs import metrics as _metrics
+from repro.obs import telemetry as _telemetry
 
 __all__ = [
     "TransientFault",
@@ -221,6 +222,9 @@ class FaultInjector:
             # Rare events; recorded unconditionally so recovery accounting
             # works without flipping the global observability switch.
             _metrics.counter("faults_injected_total", site=site, kind=spec.kind).inc()
+            _telemetry.flight().record(
+                "fault", site=site, key=key, fault_kind=spec.kind, attempt=attempt
+            )
             if spec.kind == "transient":
                 raise TransientFault(f"injected transient fault at {site}:{key}")
             if spec.kind == "permanent":

@@ -37,11 +37,18 @@ from __future__ import annotations
 
 import os
 
-from repro.obs import metrics, trace
+from repro.obs import metrics, telemetry, trace
 from repro.obs.logcfg import setup_logging
 from repro.obs.metrics import MetricsRegistry, counter, gauge, histogram, registry
 from repro.obs.profile import ChunkTiming, ProfileCollector, QueryProfile
 from repro.obs.state import disable, enable, enabled
+from repro.obs.telemetry import (
+    FlightRecorder,
+    SloObjective,
+    SloTracker,
+    flight,
+    install_signal_dump,
+)
 from repro.obs.trace import SpanRecord, Tracer, span, tracer
 
 __all__ = [
@@ -61,8 +68,14 @@ __all__ = [
     "QueryProfile",
     "ProfileCollector",
     "ChunkTiming",
+    "FlightRecorder",
+    "SloObjective",
+    "SloTracker",
+    "flight",
+    "install_signal_dump",
     "setup_logging",
     "metrics",
+    "telemetry",
     "trace",
 ]
 

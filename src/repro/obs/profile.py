@@ -99,6 +99,15 @@ class QueryProfile:
             return None
         return self.bytes_scanned / self.wall_seconds / 1e9
 
+    def chunk_percentiles(self) -> dict[str, float]:
+        """p50/p95/p99 of per-chunk wall seconds.
+
+        The p99/p50 ratio is the quickest read on chunk-time skew: a
+        long tail here (NUMA misses, straggling workers, uneven
+        selectivity) is invisible in the aggregate wall time.
+        """
+        return percentiles(c.seconds for c in self.chunks)
+
     # -- export ------------------------------------------------------------
 
     def to_dict(self) -> dict:
@@ -114,6 +123,7 @@ class QueryProfile:
             "rows_per_second": self.rows_per_second(),
             "bytes_scanned": self.bytes_scanned,
             "scan_gbs": self.scan_gbs(),
+            "chunk_seconds": self.chunk_percentiles(),
             "workers": self.busy_seconds_by_worker(),
             "chunks": [
                 {
@@ -133,11 +143,13 @@ class QueryProfile:
         """One-line human summary for logs and CLI output."""
         bw = self.scan_gbs()
         bw_txt = f", {bw:.2f} GB/s scan" if bw is not None else ""
+        pct = self.chunk_percentiles()
         return (
             f"{self.name}: {self.n_rows:,} rows / {self.n_chunks} chunks "
             f"on {self.n_workers} workers in {self.wall_seconds * 1e3:.1f} ms "
-            f"(util {self.utilization():.2f}, imbalance {self.imbalance():.2f}"
-            f"{bw_txt})"
+            f"(util {self.utilization():.2f}, imbalance {self.imbalance():.2f}, "
+            f"chunk p50/p95/p99 {pct['p50'] * 1e3:.2f}/{pct['p95'] * 1e3:.2f}/"
+            f"{pct['p99'] * 1e3:.2f} ms{bw_txt})"
         )
 
 

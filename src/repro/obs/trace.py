@@ -118,11 +118,12 @@ class _Span:
 class Tracer:
     """Collects spans from all threads of the process."""
 
-    def __init__(self) -> None:
+    def __init__(self, capacity: int | None = None) -> None:
         self._lock = threading.Lock()
         self._records: list[SpanRecord] = []
         self._local = threading.local()
         self._id = 0
+        self._capacity = capacity
 
     # -- internals ---------------------------------------------------------
 
@@ -140,6 +141,8 @@ class Tracer:
     def _record(self, rec: SpanRecord) -> None:
         with self._lock:
             self._records.append(rec)
+            if self._capacity is not None and len(self._records) > self._capacity:
+                del self._records[: len(self._records) - self._capacity]
 
     # -- public API --------------------------------------------------------
 
@@ -177,10 +180,68 @@ class Tracer:
             )
         )
 
+    def set_capacity(self, capacity: int | None) -> None:
+        """Bound the record buffer (long-running servers); None = unbounded.
+
+        The newest ``capacity`` spans are kept; older ones are dropped as
+        new spans complete.
+        """
+        with self._lock:
+            self._capacity = capacity
+            if capacity is not None and len(self._records) > capacity:
+                del self._records[: len(self._records) - capacity]
+
+    def adopt(
+        self, records: list[SpanRecord], parent: int | None = None
+    ) -> list[int]:
+        """Fold spans recorded in another tracer (a fork worker) into this
+        one, returning the new span ids.
+
+        Each adopted span gets a fresh id from this tracer; parent links
+        *within* the adopted batch are remapped so the worker's span tree
+        survives, while parents pointing outside the batch (the worker's
+        inherited pre-fork stack) are re-rooted at ``parent``.
+        """
+        id_map: dict[int, int] = {}
+        adopted: list[SpanRecord] = []
+        for rec in records:
+            new_id = self._next_id()
+            id_map[rec.span_id] = new_id
+        for rec in records:
+            adopted.append(
+                SpanRecord(
+                    span_id=id_map[rec.span_id],
+                    parent_id=id_map.get(rec.parent_id, parent)
+                    if rec.parent_id is not None
+                    else parent,
+                    name=rec.name,
+                    start_ns=rec.start_ns,
+                    end_ns=rec.end_ns,
+                    thread_id=rec.thread_id,
+                    thread_name=rec.thread_name,
+                    attrs=rec.attrs,
+                )
+            )
+        with self._lock:
+            self._records.extend(adopted)
+            if self._capacity is not None and len(self._records) > self._capacity:
+                del self._records[: len(self._records) - self._capacity]
+        return [r.span_id for r in adopted]
+
     def records(self) -> list[SpanRecord]:
         """Snapshot of finished spans in completion order."""
         with self._lock:
             return list(self._records)
+
+    def recent(self, n: int = 100) -> list[SpanRecord]:
+        """The last ``n`` finished spans (flight recorder / ``/tracez``)."""
+        with self._lock:
+            return list(self._records[-n:]) if n > 0 else []
+
+    def count(self) -> int:
+        """Number of spans currently buffered."""
+        with self._lock:
+            return len(self._records)
 
     def reset(self) -> None:
         """Drop all recorded spans (per-thread stacks are untouched)."""

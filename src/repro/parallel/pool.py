@@ -20,6 +20,7 @@ from typing import Callable, Sequence
 
 from repro.obs import metrics as _metrics
 from repro.obs import state as _obs
+from repro.obs import telemetry as _telemetry
 
 __all__ = ["ThreadTeam"]
 
@@ -61,6 +62,7 @@ class ThreadTeam:
         for i, w in enumerate(self._workers):
             if not w.is_alive():
                 _metrics.counter("team_worker_restarts_total").inc()
+                _telemetry.flight().record("thread_revive", worker=w.name)
                 self._workers[i] = self._spawn(i)
 
     # -- worker loop -----------------------------------------------------

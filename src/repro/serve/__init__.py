@@ -30,6 +30,7 @@ from repro.serve.batcher import (
     execute_batch,
 )
 from repro.serve.client import ServeClient
+from repro.serve.ops import METRICS_CONTENT_TYPE, OpsServer
 from repro.serve.request import (
     GROUP_OPS,
     OPS,
@@ -45,7 +46,9 @@ __all__ = [
     "BatchItem",
     "ExecutableOp",
     "GROUP_OPS",
+    "METRICS_CONTENT_TYPE",
     "OPS",
+    "OpsServer",
     "PendingRequest",
     "QueryRequest",
     "QueryResponse",

@@ -202,6 +202,25 @@ class AdmissionController:
         with self._lock:
             return len(self._heap)
 
+    def bucket_states(self) -> dict[str, dict[str, float]]:
+        """Per-client token-bucket state for the ops plane's ``/varz``.
+
+        Token counts are projected to "now" without mutating the
+        buckets, so reading the state never affects admission.
+        """
+        now = time.monotonic()
+        with self._lock:
+            return {
+                client: {
+                    "tokens": round(
+                        min(b.burst, b._tokens + (now - b._stamp) * b.rate), 3
+                    ),
+                    "rate": b.rate,
+                    "burst": b.burst,
+                }
+                for client, b in self._buckets.items()
+            }
+
     def idle(self) -> bool:
         """True when nothing is queued or in flight."""
         with self._lock:

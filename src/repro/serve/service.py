@@ -42,7 +42,9 @@ from repro.engine.planner import _copy_value, result_cache
 from repro.engine.store import GdeltStore
 from repro.faults import injector as _faults
 from repro.obs import metrics as _metrics
+from repro.obs import telemetry as _telemetry
 from repro.obs.profile import percentiles
+from repro.obs.telemetry import SloTracker
 from repro.obs.trace import span as _span
 from repro.serve.admission import AdmissionController
 from repro.serve.batcher import BatchItem, ExecutableOp, compile_request, execute_batch
@@ -124,6 +126,8 @@ class QueryService:
             get naive one-query-at-a-time serving for comparison.
         default_deadline_s: applied to requests that carry none.
         prune: forward zone-map pruning to the planner (ablation).
+        slo: burn-rate tracker for this service's objectives (default:
+            :func:`repro.obs.telemetry.default_serve_objectives`).
     """
 
     def __init__(
@@ -139,9 +143,14 @@ class QueryService:
         single_flight: bool = True,
         default_deadline_s: float | None = None,
         prune: bool = True,
+        slo: SloTracker | None = None,
     ) -> None:
         self.store = store
         self.workers = max(1, workers)
+        #: SLO burn-rate tracker fed by every resolution.  Sheds count as
+        #: bad events — from the client's side a shed IS a failed request;
+        #: the tracker is what tells operators the shedding is material.
+        self.slo = slo if slo is not None else SloTracker()
         self.max_batch = max(1, max_batch) if batching else 1
         self.batching = batching
         self.single_flight = single_flight
@@ -390,15 +399,25 @@ class QueryService:
     def _resolve_ok(
         self, pending: PendingRequest, value, stats: dict, now: float
     ) -> None:
+        latency = now - pending.arrival_s
         with self._lock:
-            self._latencies.append(now - pending.arrival_s)
+            self._latencies.append(latency)
             self._counts["ok"] += 1
         _metrics.counter("serve_requests_total", status="ok").inc()
+        self.slo.observe(latency)
         pending._resolve(QueryResponse(status="ok", value=value, stats=stats))
 
     def _shed(self, pending: PendingRequest, reason: str, retry_after: float) -> None:
         self._count("shed")
         _metrics.counter("serve_requests_total", status="shed").inc()
+        self.slo.observe(None, error=True)
+        _telemetry.flight().record(
+            "shed",
+            reason=reason,
+            client=pending.request.client_id,
+            request=str(pending.request.id),
+            retry_after_s=round(retry_after, 6),
+        )
         pending._resolve(
             QueryResponse(status="shed", reason=reason, retry_after_s=retry_after)
         )
@@ -406,6 +425,12 @@ class QueryService:
     def _error(self, pending: PendingRequest, exc: Exception) -> None:
         self._count("error")
         _metrics.counter("serve_requests_total", status="error").inc()
+        self.slo.observe(None, error=True)
+        _telemetry.flight().record(
+            "request_error",
+            request=str(pending.request.id),
+            error=f"{type(exc).__name__}: {exc}",
+        )
         pending._resolve(
             QueryResponse(status="error", error=f"{type(exc).__name__}: {exc}")
         )
@@ -426,6 +451,42 @@ class QueryService:
             "latency": percentiles(lat),
             "uptime_s": round(time.monotonic() - self._started_s, 3),
             "workers": self.workers,
+        }
+
+    def alive_workers(self) -> int:
+        """How many service worker threads are currently alive."""
+        return sum(1 for t in self._threads if t.is_alive())
+
+    def health(self) -> dict:
+        """Operational health for the ops plane's probes.
+
+        ``live`` is pure liveness (the process answered).  ``ready``
+        means the admission controller would accept traffic right now:
+        not draining, queue below its bound, and no dead workers.  The
+        SLO detail rides along so ``/healthz`` can show budget burn
+        without flipping liveness.
+        """
+        draining = self._closed
+        depth = self.admission.depth()
+        saturated = depth >= self.admission.max_queue
+        dead_workers = self.workers - self.alive_workers()
+        reasons = []
+        if draining:
+            reasons.append("draining")
+        if saturated:
+            reasons.append("queue_saturated")
+        if dead_workers:
+            reasons.append(f"dead_workers={dead_workers}")
+        return {
+            "live": True,
+            "ready": not reasons,
+            "reasons": reasons,
+            "draining": draining,
+            "queue_depth": depth,
+            "max_queue": self.admission.max_queue,
+            "dead_workers": dead_workers,
+            "slo_ok": self.slo.healthy(),
+            "slo": self.slo.snapshot(),
         }
 
     def profile(self) -> dict:

@@ -262,6 +262,74 @@ class TestServeCommands:
         text = metrics.read_text()
         assert "repro_serve_requests_total" in text
 
+    def test_serve_ops_plane_and_sigusr1_dump(self, tiny_binary, tmp_path):
+        import json
+        import os
+        import re
+        import signal
+        import subprocess
+        import sys
+        import time
+        import urllib.request
+
+        from pathlib import Path
+
+        import repro
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(Path(repro.__file__).resolve().parents[1])
+        env.pop("REPRO_FAULTS", None)
+        dump = tmp_path / "flight.json"
+        env["REPRO_FLIGHT_DUMP"] = str(dump)
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve", str(tiny_binary),
+             "--port", "0", "--ops-port", "0", "--workers", "2"],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=env,
+        )
+        try:
+            banner = proc.stdout.readline()
+            m = re.match(r"listening on ([\d.]+):(\d+)", banner)
+            assert m, f"unexpected banner: {banner!r}"
+            host, port = m.group(1), int(m.group(2))
+            ops_line = proc.stdout.readline()
+            m = re.match(r"ops on ([\d.]+):(\d+)", ops_line)
+            assert m, f"unexpected ops banner: {ops_line!r}"
+            ops_port = int(m.group(2))
+
+            from repro.serve import ServeClient
+
+            with ServeClient(host, port) as client:
+                assert client.query(table="mentions", op="count")["status"] == "ok"
+
+            base = f"http://{host}:{ops_port}"
+            with urllib.request.urlopen(f"{base}/metrics", timeout=10.0) as r:
+                assert r.status == 200
+                assert r.headers["Content-Type"].startswith("text/plain")
+                text = r.read().decode()
+            assert "repro_serve_requests_total" in text
+            assert "repro_slo_burn_rate" in text
+            with urllib.request.urlopen(f"{base}/healthz", timeout=10.0) as r:
+                assert json.loads(r.read())["status"] == "ok"
+            with urllib.request.urlopen(f"{base}/readyz", timeout=10.0) as r:
+                assert json.loads(r.read())["ready"] is True
+            with urllib.request.urlopen(f"{base}/varz", timeout=10.0) as r:
+                assert json.loads(r.read())["service"]["ok"] >= 1
+
+            proc.send_signal(signal.SIGUSR1)
+            deadline = time.monotonic() + 10.0
+            while not dump.exists() and time.monotonic() < deadline:
+                time.sleep(0.05)
+            doc = json.loads(dump.read_text())
+            assert doc["kind"] == "flight_dump"
+            assert "signal" in doc["reason"]
+
+            proc.send_signal(signal.SIGINT)
+            assert proc.wait(timeout=30.0) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10.0)
+
     def test_bench_serve_writes_report(self, tiny_binary, tmp_path, capsys):
         import json
 

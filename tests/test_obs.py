@@ -171,6 +171,7 @@ class TestPrometheusExposition:
         for v in (0.5, 0.75, 3.0):
             h.observe(v)
         expected = (
+            "# HELP repro_chunk_seconds chunk seconds\n"
             "# TYPE repro_chunk_seconds histogram\n"
             'repro_chunk_seconds_bucket{le="0.5"} 1\n'
             'repro_chunk_seconds_bucket{le="1"} 2\n'
@@ -178,12 +179,80 @@ class TestPrometheusExposition:
             'repro_chunk_seconds_bucket{le="+Inf"} 3\n'
             "repro_chunk_seconds_sum 4.25\n"
             "repro_chunk_seconds_count 3\n"
+            "# HELP repro_rows_scanned_total rows scanned total\n"
             "# TYPE repro_rows_scanned_total counter\n"
             'repro_rows_scanned_total{executor="SerialExecutor"} 5\n'
+            "# HELP repro_workers workers\n"
             "# TYPE repro_workers gauge\n"
             "repro_workers 3\n"
         )
         assert reg.to_prometheus() == expected
+
+    def test_registered_help_text(self):
+        reg = MetricsRegistry()
+        reg.describe("x_total", "things processed\nsecond line \\ slash")
+        reg.counter("x_total").inc()
+        text = reg.to_prometheus()
+        assert (
+            "# HELP repro_x_total things processed\\nsecond line \\\\ slash\n"
+            in text
+        )
+
+    def test_label_value_escaping(self):
+        """Backslash, double-quote, and newline must be escaped per the
+        Prometheus text exposition format."""
+        reg = MetricsRegistry()
+        reg.counter("c", path='C:\\data\n"prod"').inc(1)
+        line = [
+            ln for ln in reg.to_prometheus().splitlines() if ln.startswith("repro_c")
+        ][0]
+        assert line == 'repro_c{path="C:\\\\data\\n\\"prod\\""} 1'
+
+    def test_escaped_labels_survive_histograms_too(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", tag='a"b').observe(1.0)
+        text = reg.to_prometheus()
+        assert 'tag="a\\"b"' in text
+        assert 'le="1"' in text
+
+    def test_thread_safety_under_concurrent_inc_and_dump(self):
+        """8 threads hammering counter().inc() while others render
+        to_prometheus(): no exceptions, no lost increments, and every
+        rendered dump parses (series lines well-formed)."""
+        import threading as _threading
+
+        reg = MetricsRegistry()
+        n_threads, n_iters = 8, 500
+        dumps: list[str] = []
+        errors: list[BaseException] = []
+        start = _threading.Barrier(n_threads)
+
+        def worker(tid: int) -> None:
+            try:
+                start.wait()
+                for i in range(n_iters):
+                    reg.counter("hammer_total", shard=str(tid % 4)).inc()
+                    reg.histogram("hammer_seconds").observe(0.001 * (i % 7))
+                    if tid % 2 and i % 50 == 0:
+                        dumps.append(reg.to_prometheus())
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [
+            _threading.Thread(target=worker, args=(t,)) for t in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        total = sum(
+            m.value for m in reg.series() if m.name == "hammer_total"
+        )
+        assert total == n_threads * n_iters
+        h = reg.histogram("hammer_seconds")
+        assert h.count == n_threads * n_iters
+        assert dumps and all("repro_hammer_total" in d for d in dumps)
 
     def test_json_dump_round_trips(self):
         reg = MetricsRegistry()

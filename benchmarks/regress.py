@@ -63,6 +63,23 @@ GUARDS: dict[str, tuple[Metric, ...]] = {
         Metric("served.scans", "lower", 0.05),
         Metric("single_flight.scans", "lower", 0.0),
     ),
+    "BENCH_soak.json": (
+        # The robustness invariants are absolute: any error or
+        # cross-generation mix is a failure regardless of the baseline.
+        Metric("failures.errors", "lower", 0.0),
+        Metric("failures.gen_mix_violations", "lower", 0.0),
+        Metric("requests.transport_errors", "lower", 0.0),
+        # At least one reload/cancel/revive must keep happening; counts
+        # scale with soak duration, so only guard against collapse.
+        Metric("reloads.ok", "higher", 0.70),
+        Metric("deadline.cancelled", "higher", 0.90),
+        Metric("worker.revives", "higher", 0.0),
+        # Tail latency during reload windows.  The hard ceiling (2 s) is
+        # asserted inside soak.py; this guard only flags order-of-
+        # magnitude erosion, since the baseline is single-digit ms and
+        # CI runners are noisy.
+        Metric("latency.p99_reload_s", "lower", 50.0),
+    ),
 }
 
 

@@ -215,6 +215,22 @@ def build_parser() -> argparse.ArgumentParser:
         "an ephemeral port",
     )
     sv.add_argument(
+        "--follow", action="store_true",
+        help="treat DATASET as a raw GDELT mirror and follow it live: "
+        "poll the master list, hot-swap validated snapshots in with "
+        "zero downtime (SIGHUP forces a poll)",
+    )
+    sv.add_argument(
+        "--poll-interval", type=float, default=0.0,
+        help="with --follow, poll the mirror every N seconds "
+        "(default 0: only on SIGHUP)",
+    )
+    sv.add_argument(
+        "--no-verify", action="store_true",
+        help="skip checksum verification of reload candidates "
+        "(archive md5s with --follow, dataset CRC32s without)",
+    )
+    sv.add_argument(
         "--slo-latency", type=float, default=0.5,
         help="latency SLO threshold in seconds (default 0.5)",
     )
@@ -495,7 +511,13 @@ def _cmd_serve(args) -> int:
         default_serve_objectives,
         install_signal_dump,
     )
-    from repro.serve import OpsServer, QueryService, ServeServer
+    from repro.serve import (
+        BreakerBoard,
+        OpsServer,
+        QueryService,
+        ServeServer,
+        StoreLifecycle,
+    )
 
     if args.ops_port is not None:
         # The ops plane is only useful with live telemetry behind it.
@@ -504,14 +526,40 @@ def _cmd_serve(args) -> int:
         obs.enable()
     install_signal_dump()
 
-    store = GdeltStore.open(args.dataset)
+    breakers = BreakerBoard()
+    follower = None
+    if args.follow:
+        from repro.ingest.stream import LiveFollower
+
+        follower = LiveFollower(
+            args.dataset, verify_checksums=not args.no_verify
+        )
+        first = follower.poll()
+        if first.idle:
+            logger.error("mirror %s has no ingestible archives", args.dataset)
+            return 2
+        store = follower.snapshot()
+        logger.info(
+            "followed %s: %d chunks, %d events, %d mentions",
+            args.dataset, first.new_chunks, first.new_events,
+            first.new_mentions,
+        )
+    else:
+        store = GdeltStore.open(args.dataset)
+    lifecycle = StoreLifecycle(
+        store,
+        follower=follower,
+        reload_path=None if args.follow else args.dataset,
+        verify_storage=not args.no_verify,
+        breakers=breakers,
+    )
+    lifecycle.install_sighup()
     slo = SloTracker(
         default_serve_objectives(
             latency_threshold_s=args.slo_latency, target=args.slo_target
         )
     )
     service = QueryService(
-        store,
         workers=args.workers,
         scan_threads=args.scan_threads,
         max_queue=args.max_queue,
@@ -519,6 +567,8 @@ def _cmd_serve(args) -> int:
         rate_limit=args.rate_limit,
         default_deadline_s=args.default_deadline,
         slo=slo,
+        lifecycle=lifecycle,
+        breakers=breakers,
     )
     server = ServeServer(service, host=args.host, port=args.port)
     ops = None
@@ -526,16 +576,30 @@ def _cmd_serve(args) -> int:
         ops = OpsServer(service, host=args.host, port=args.ops_port)
         logger.info("ops plane on http://%s:%d/metrics", ops.host, ops.port)
     logger.info(
-        "serving %s on %s:%d (%d workers, queue %d, batch %d)",
+        "serving %s on %s:%d (%d workers, queue %d, batch %d%s)",
         args.dataset, server.host, server.port, args.workers,
         args.max_queue, args.max_batch,
+        ", following" if args.follow else "",
     )
     print(f"listening on {server.host}:{server.port}", flush=True)
     if ops is not None:
         print(f"ops on {ops.host}:{ops.port}", flush=True)
+    next_poll = time.monotonic() + args.poll_interval
     try:
         while True:
-            time.sleep(1.0)
+            time.sleep(0.2)
+            # SIGHUP handlers only flag; the swap happens here, on the
+            # main thread, where a failure is loggable and harmless.
+            result = lifecycle.run_pending()
+            if result is None and follower is not None and args.poll_interval:
+                if time.monotonic() >= next_poll:
+                    next_poll = time.monotonic() + args.poll_interval
+                    result = lifecycle.poll()
+            if result is not None and result.changed:
+                logger.info(
+                    "now serving generation %d (%s)",
+                    result.generation, result.rows,
+                )
     except KeyboardInterrupt:
         logger.info("draining and shutting down ...")
     finally:
@@ -543,6 +607,7 @@ def _cmd_serve(args) -> int:
         service.close(drain=True)
         if ops is not None:
             ops.close()
+        lifecycle.close()
         stats = service.stats()
         logger.info(
             "served %d requests (%d ok, %d shed, %d error), %d scans",

@@ -58,6 +58,8 @@ __all__ = [
     "ThreadExecutor",
     "ProcessExecutor",
     "ChunkRetryPolicy",
+    "CancelToken",
+    "QueryCancelled",
     "TimedResult",
     "default_chunk_rows",
 ]
@@ -65,6 +67,53 @@ __all__ = [
 T = TypeVar("T")
 
 logger = logging.getLogger(__name__)
+
+
+class QueryCancelled(Exception):
+    """Raised inside a map call when its :class:`CancelToken` fires.
+
+    Cancellation is cooperative: the executor checks the token before
+    each chunk, so an in-progress kernel finishes but no further chunk
+    is started.  The serving layer maps this to a ``DEADLINE_EXCEEDED``
+    shed, never an error — a cancelled query did nothing wrong.
+    """
+
+
+class CancelToken:
+    """Cooperative cancellation: an explicit flag plus an optional deadline.
+
+    ``deadline_s`` is an absolute :func:`time.monotonic` timestamp; the
+    token reads as cancelled once it passes.  :meth:`cancel` fires it
+    immediately from any thread.  Checking is lock-free — a bool read
+    and a clock read — so the per-chunk cost is negligible next to any
+    real kernel.
+    """
+
+    __slots__ = ("deadline_s", "_cancelled", "reason")
+
+    def __init__(self, deadline_s: float | None = None) -> None:
+        self.deadline_s = deadline_s
+        self._cancelled = False
+        self.reason = "cancelled"
+
+    def cancel(self, reason: str = "cancelled") -> None:
+        self.reason = reason
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        if self._cancelled:
+            return True
+        if self.deadline_s is not None and time.monotonic() > self.deadline_s:
+            self.reason = "deadline"
+            self._cancelled = True
+            return True
+        return False
+
+    def check(self) -> None:
+        """Raise :class:`QueryCancelled` when the token has fired."""
+        if self.cancelled:
+            raise QueryCancelled(self.reason)
 
 
 @dataclass(frozen=True, slots=True)
@@ -155,6 +204,24 @@ class Executor:
 
         return resilient
 
+    @staticmethod
+    def _with_cancel(
+        kernel: Callable[[slice], T], cancel: CancelToken
+    ) -> Callable[[slice], T]:
+        """Check the token before every chunk dispatch.
+
+        The check runs on whichever worker thread picks the chunk up, so
+        a deadline that passes mid-map stops every not-yet-started chunk
+        — the workers return to the pool instead of scanning for a
+        caller that has already given up.
+        """
+
+        def checked(sl: slice) -> T:
+            cancel.check()
+            return kernel(sl)
+
+        return checked
+
     def _plan(self, n_rows: int, chunk_rows: int | None) -> list[slice]:
         """Chunk ``[0, n_rows)`` into the slices one map call executes."""
         if chunk_rows is None:
@@ -167,24 +234,28 @@ class Executor:
         n_rows: int,
         chunk_rows: int | None = None,
         profile: ProfileCollector | None = None,
+        cancel: CancelToken | None = None,
     ) -> list[T]:
         """Run ``kernel`` over every chunk of ``[0, n_rows)``; ordered results.
 
         When ``profile`` is given, per-chunk timings are recorded into it
-        regardless of the global observability switch.
+        regardless of the global observability switch.  ``cancel`` is
+        checked before each chunk; a fired token aborts the map with
+        :class:`QueryCancelled` instead of scanning to the end.
         """
-        return self._execute(kernel, self._plan(n_rows, chunk_rows), profile)
+        return self._execute(kernel, self._plan(n_rows, chunk_rows), profile, cancel)
 
     def map_slices(
         self,
         kernel: Callable[[slice], T],
         slices: Sequence[slice],
         profile: ProfileCollector | None = None,
+        cancel: CancelToken | None = None,
     ) -> list[T]:
         """Run ``kernel`` over an explicit (possibly non-contiguous) slice
         list — the planner's entry point for pruned scans.  Results come
         back in ``slices`` order."""
-        return self._execute(kernel, list(slices), profile)
+        return self._execute(kernel, list(slices), profile, cancel)
 
     def map_chunks_timed(
         self,
@@ -211,6 +282,7 @@ class Executor:
         kernel: Callable[[slice], T],
         chunks: Sequence[slice],
         profile: ProfileCollector | None,
+        cancel: CancelToken | None = None,
     ) -> list[T]:
         """Run chunks, recording per-chunk timings when asked to.
 
@@ -218,6 +290,8 @@ class Executor:
         straight to :meth:`_run` with the caller's kernel untouched.
         """
         kernel = self._maybe_resilient(kernel)
+        if cancel is not None:
+            kernel = self._with_cancel(kernel, cancel)
         if profile is None and not _obs._enabled:
             return self._run(kernel, chunks)
         collector = profile if profile is not None else ProfileCollector()

@@ -89,6 +89,13 @@ class GdeltStore:
         )
         self._token = f"store{next(_STORE_SEQ)}"
         self._generation = 0
+        #: Refcount for lifecycle-managed stores: the creator holds one
+        #: reference; :meth:`retain`/:meth:`release` bracket pinned use
+        #: (an in-flight query keeps its generation alive across a hot
+        #: swap).  Dropping to zero releases derived caches, planner
+        #: cache entries, and the dataset reader (mmap handles).
+        self._refs = 1
+        self._released = False
 
     # -- construction --------------------------------------------------------
 
@@ -259,6 +266,60 @@ class GdeltStore:
         from repro.engine.planner import invalidate_cache
 
         invalidate_cache(self._token)
+
+    # -- refcounted lifetime -------------------------------------------------
+
+    @property
+    def refs(self) -> int:
+        """Current reference count (creator + live pins)."""
+        with self._lock:
+            return self._refs
+
+    @property
+    def released(self) -> bool:
+        """True once the refcount hit zero and resources were dropped."""
+        with self._lock:
+            return self._released
+
+    def retain(self) -> "GdeltStore":
+        """Pin the store: one more reference keeping its resources live.
+
+        Raises:
+            RuntimeError: when the store was already released — a pin
+                after release would resurrect freed state.
+        """
+        with self._lock:
+            if self._released:
+                raise RuntimeError(f"{self._token}: retain after release")
+            self._refs += 1
+        return self
+
+    def release(self) -> int:
+        """Drop one reference; returns the remaining count.
+
+        The last release frees what the store *owns* — derived-column
+        caches, its planner result-cache entries, and the dataset
+        reader (whose memory-mapped columns close when the arrays are
+        garbage collected).  Table dicts are left intact, so a stray
+        late reader sees consistent data rather than a crash; the
+        contract is that nobody holds the store past its last release.
+        """
+        with self._lock:
+            if self._released:
+                return 0
+            self._refs -= 1
+            remaining = self._refs
+            if remaining > 0:
+                return remaining
+            self._released = True
+            self._cache.clear()
+            self._reader = None
+        from repro.engine.planner import invalidate_cache
+
+        invalidate_cache(self._token)
+        _metrics.counter("store_releases_total").inc()
+        logger.debug("store %s released (generation %d)", self._token, self._generation)
+        return 0
 
     def _cached(self, key: str, factory):
         """Get-or-compute a derived artifact, thread-safely.

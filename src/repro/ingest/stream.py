@@ -25,7 +25,7 @@ from repro.engine.store import GdeltStore
 from repro.gdelt.csv_io import event_from_row, mention_from_row, open_chunk_text
 from repro.gdelt.masterlist import EXPORT_KIND, parse_master_list
 from repro.ingest.accumulate import EventAccumulator, MentionAccumulator
-from repro.ingest.fetch import LocalFetcher
+from repro.ingest.fetch import LocalFetcher, stream_md5
 from repro.ingest.validate import ProblemReport
 from repro.obs import metrics as _metrics
 from repro.obs import state as _obs
@@ -65,6 +65,7 @@ class LiveFollower:
     def __init__(self, raw_dir: Path, verify_checksums: bool = False) -> None:
         self.raw_dir = Path(raw_dir)
         self.report = ProblemReport()
+        self.verify_checksums = verify_checksums
         self._fetcher = LocalFetcher(self.raw_dir, verify_checksums=verify_checksums)
         self._seen_urls: set[str] = set()
         self._seen_malformed: set[str] = set()
@@ -110,6 +111,16 @@ class LiveFollower:
                     continue
                 self._seen_urls.add(ref.entry.url)
                 new_chunks += 1
+                if self.verify_checksums and ref.entry.md5:
+                    # The master list carries each archive's md5: a
+                    # mismatched file is a truncated upload or on-disk
+                    # corruption — skip it *before* parsing so bad rows
+                    # can never reach the accumulators (and therefore
+                    # never a published snapshot).
+                    if stream_md5(path) != ref.entry.md5:
+                        self.report.note("checksum_mismatch", name)
+                        _metrics.counter("live_checksum_skips_total").inc()
+                        continue
                 try:
                     fh = open_chunk_text(path)
                 except (zipfile.BadZipFile, ValueError, OSError) as exc:

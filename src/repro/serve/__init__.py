@@ -29,7 +29,14 @@ from repro.serve.batcher import (
     compile_request,
     execute_batch,
 )
-from repro.serve.client import ServeClient
+from repro.serve.breaker import BreakerBoard, CircuitBreaker
+from repro.serve.client import ServeClient, next_backoff
+from repro.serve.lifecycle import (
+    LifecycleError,
+    ReloadResult,
+    StoreLease,
+    StoreLifecycle,
+)
 from repro.serve.ops import METRICS_CONTENT_TYPE, OpsServer
 from repro.serve.request import (
     GROUP_OPS,
@@ -44,8 +51,11 @@ from repro.serve.service import PendingRequest, QueryService
 __all__ = [
     "AdmissionController",
     "BatchItem",
+    "BreakerBoard",
+    "CircuitBreaker",
     "ExecutableOp",
     "GROUP_OPS",
+    "LifecycleError",
     "METRICS_CONTENT_TYPE",
     "OPS",
     "OpsServer",
@@ -53,10 +63,14 @@ __all__ = [
     "QueryRequest",
     "QueryResponse",
     "QueryService",
+    "ReloadResult",
     "ServeClient",
     "ServeServer",
+    "StoreLease",
+    "StoreLifecycle",
     "TokenBucket",
     "compile_request",
     "execute_batch",
+    "next_backoff",
     "request_from_wire",
 ]

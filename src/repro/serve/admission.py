@@ -198,6 +198,21 @@ class AdmissionController:
             if self._in_flight == 0 and not self._heap:
                 self._not_empty.notify_all()
 
+    def drain_all(self) -> list:
+        """Pop every queued (not in-flight) pending request.
+
+        The non-drain shutdown path: the service resolves each returned
+        pending with ``SHUTTING_DOWN`` so no submitted request can block
+        forever on a queue nobody will ever take from.  The popped
+        entries are *not* accounted as in flight.
+        """
+        with self._lock:
+            out = [a.pending for a in self._heap]
+            self._heap.clear()
+            _metrics.gauge("serve_queue_depth").set(0)
+            self._not_empty.notify_all()
+        return out
+
     def depth(self) -> int:
         with self._lock:
             return len(self._heap)

@@ -36,7 +36,7 @@ from repro.engine.aggregate import (
     group_min,
     group_sum,
 )
-from repro.engine.executor import Executor
+from repro.engine.executor import CancelToken, Executor, QueryCancelled
 from repro.engine.planner import Plan, fuse_plans, plan_query, request_key
 from repro.engine.query import terminal_signature
 from repro.engine.store import GdeltStore
@@ -264,12 +264,21 @@ class BatchItem:
 
 
 def execute_batch(
-    items: list[BatchItem], executor: Executor, prune: bool = True
+    items: list[BatchItem],
+    executor: Executor,
+    prune: bool = True,
+    cancel: CancelToken | None = None,
 ) -> None:
     """Plan, fuse, and execute a batch of unique requests in one pass.
 
     Fills each item's ``value`` (or ``error``).  Items whose planning
     fails are excluded from the fused scan; the survivors still run.
+
+    ``cancel`` is checked before every fused morsel: when it fires
+    (deadline passed or explicit cancel), the scan stops and every live
+    item's error becomes :class:`~repro.engine.executor.QueryCancelled`
+    — the service maps that to a deadline shed, and the worker thread
+    is back in service without finishing the walk.
     """
     live: list[BatchItem] = []
     for item in items:
@@ -294,7 +303,13 @@ def execute_batch(
         ]
 
     try:
-        part_lists = executor.map_slices(kernel, [u.rows for u in fused])
+        part_lists = executor.map_slices(
+            kernel, [u.rows for u in fused], cancel=cancel
+        )
+    except QueryCancelled as exc:
+        for item in live:
+            item.error = exc
+        return
     except Exception as exc:  # injected aborts, kernel failures
         for item in live:
             item.error = exc

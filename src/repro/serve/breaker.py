@@ -1,0 +1,216 @@
+"""Per-failure-class circuit breakers for the serving layer.
+
+A fault storm (bad archive batch, wedged reload, a kernel tripping the
+same bug on every request) makes naive serving *queue to death*: every
+doomed request still waits its turn, holds a queue slot, and burns a
+worker before failing.  A circuit breaker converts that into fail-fast:
+after ``failure_threshold`` consecutive failures of one *class* the
+breaker **opens** and requests of that class are shed immediately with a
+``RETRY_AFTER`` hint; after ``cooldown_s`` it goes **half-open** and
+lets a bounded number of probe requests through — one success closes it
+again, one failure re-opens it.
+
+Classes partition failures so an ingest-side storm cannot blackhole
+healthy query traffic: the :class:`BreakerBoard` keeps one independent
+:class:`CircuitBreaker` per class string (``"execute"``, ``"reload"``,
+...).  State is exported as ``repro_breaker_state{class=...}``
+(0=closed, 1=half-open, 2=open) plus transition and fast-fail counters,
+so dashboards can see a breaker flap before clients complain.
+
+Everything is lock-protected and clock-injectable for tests.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from repro.obs import metrics as _metrics
+
+__all__ = [
+    "CLOSED",
+    "OPEN",
+    "HALF_OPEN",
+    "CircuitBreaker",
+    "BreakerBoard",
+]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+#: Numeric encoding for the state gauge (order chosen so "worse" is higher).
+_STATE_CODE = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
+
+
+class CircuitBreaker:
+    """One closed/open/half-open breaker guarding a failure class.
+
+    Not a decorator: callers ask :meth:`allow` before the guarded work
+    and report the outcome with :meth:`success` / :meth:`failure`.  That
+    shape fits the serving pipeline, where admission decides *before*
+    a request is queued and the outcome is known on a worker thread.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        failure_threshold: int = 5,
+        cooldown_s: float = 5.0,
+        half_open_probes: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if half_open_probes < 1:
+            raise ValueError("half_open_probes must be >= 1")
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = float(cooldown_s)
+        self.half_open_probes = half_open_probes
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probes_in_flight = 0
+        self._set_gauge(CLOSED)
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def snapshot(self) -> dict:
+        """State dict for ``/varz``."""
+        with self._lock:
+            self._maybe_half_open()
+            snap = {
+                "state": self._state,
+                "consecutive_failures": self._consecutive_failures,
+            }
+            if self._state == OPEN:
+                snap["retry_after_s"] = round(self._remaining_cooldown(), 3)
+            return snap
+
+    # -- the gate ---------------------------------------------------------
+
+    def allow(self) -> tuple[bool, float]:
+        """May a request of this class proceed right now?
+
+        Returns ``(allowed, retry_after_s)``; ``retry_after_s`` is only
+        meaningful when not allowed — it is the remaining cooldown, the
+        client's backoff hint.
+        """
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == CLOSED:
+                return True, 0.0
+            if self._state == HALF_OPEN:
+                if self._probes_in_flight < self.half_open_probes:
+                    self._probes_in_flight += 1
+                    return True, 0.0
+                # Probe slots taken: hold the line until they report.
+                return False, self.cooldown_s
+            _metrics.counter(
+                "breaker_fastfail_total", **{"class": self.name}
+            ).inc()
+            return False, max(self._remaining_cooldown(), 0.001)
+
+    def success(self) -> None:
+        """Guarded work finished cleanly."""
+        with self._lock:
+            self._consecutive_failures = 0
+            if self._state == HALF_OPEN:
+                self._probes_in_flight = max(0, self._probes_in_flight - 1)
+                self._transition(CLOSED)
+
+    def failure(self) -> None:
+        """Guarded work failed (infrastructure failure, not a user error)."""
+        with self._lock:
+            self._maybe_half_open()
+            self._consecutive_failures += 1
+            if self._state == HALF_OPEN:
+                self._probes_in_flight = max(0, self._probes_in_flight - 1)
+                self._trip()
+            elif (
+                self._state == CLOSED
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._trip()
+
+    # -- internals (all called under self._lock) --------------------------
+
+    def _remaining_cooldown(self) -> float:
+        return self.cooldown_s - (self._clock() - self._opened_at)
+
+    def _maybe_half_open(self) -> None:
+        if self._state == OPEN and self._remaining_cooldown() <= 0:
+            self._probes_in_flight = 0
+            self._transition(HALF_OPEN)
+
+    def _trip(self) -> None:
+        self._opened_at = self._clock()
+        self._transition(OPEN)
+
+    def _transition(self, to: str) -> None:
+        if to == self._state:
+            return
+        self._state = to
+        self._set_gauge(to)
+        _metrics.counter(
+            "breaker_transitions_total", **{"class": self.name, "to": to}
+        ).inc()
+
+    def _set_gauge(self, state: str) -> None:
+        _metrics.gauge("breaker_state", **{"class": self.name}).set(
+            _STATE_CODE[state]
+        )
+
+
+class BreakerBoard:
+    """Lazy registry of one :class:`CircuitBreaker` per failure class."""
+
+    def __init__(
+        self,
+        *,
+        failure_threshold: int = 5,
+        cooldown_s: float = 5.0,
+        half_open_probes: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._kwargs = dict(
+            failure_threshold=failure_threshold,
+            cooldown_s=cooldown_s,
+            half_open_probes=half_open_probes,
+            clock=clock,
+        )
+        self._lock = threading.Lock()
+        self._breakers: dict[str, CircuitBreaker] = {}
+
+    def breaker(self, cls: str) -> CircuitBreaker:
+        with self._lock:
+            br = self._breakers.get(cls)
+            if br is None:
+                br = self._breakers[cls] = CircuitBreaker(cls, **self._kwargs)
+            return br
+
+    def allow(self, cls: str) -> tuple[bool, float]:
+        return self.breaker(cls).allow()
+
+    def success(self, cls: str) -> None:
+        self.breaker(cls).success()
+
+    def failure(self, cls: str) -> None:
+        self.breaker(cls).failure()
+
+    def states(self) -> dict[str, dict]:
+        """Per-class snapshots for ``/varz``."""
+        with self._lock:
+            breakers = dict(self._breakers)
+        return {cls: br.snapshot() for cls, br in sorted(breakers.items())}

@@ -19,10 +19,27 @@ Usage::
 from __future__ import annotations
 
 import json
+import random
 import socket
 import time
 
-__all__ = ["ServeClient"]
+__all__ = ["ServeClient", "next_backoff"]
+
+
+def next_backoff(
+    hint_s: float, prev_s: float, max_backoff_s: float, rng: random.Random
+) -> float:
+    """Decorrelated-jitter sleep for one shed retry.
+
+    The server's ``retry_after_s`` hint is the *floor* — sleeping less
+    would arrive before capacity exists — and the jittered ceiling grows
+    from the previous sleep (``3x``), so a crowd of clients shed at the
+    same instant desynchronizes instead of re-arriving as one thundering
+    herd when the hint expires.  Capped at ``max_backoff_s``.
+    """
+    floor = max(hint_s, 0.001)
+    ceiling = max(floor, prev_s * 3.0)
+    return min(max_backoff_s, rng.uniform(floor, ceiling))
 
 
 class ServeClient:
@@ -35,8 +52,10 @@ class ServeClient:
     def __init__(
         self, host: str = "127.0.0.1", port: int = 7311,
         timeout: float | None = 30.0, client_id: str | None = None,
+        rng: random.Random | None = None,
     ) -> None:
         self.client_id = client_id
+        self._rng = rng if rng is not None else random.Random()
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._reader = self._sock.makefile("rb")
         self._seq = 0
@@ -70,8 +89,15 @@ class ServeClient:
         deadline_s: float | None = None,
         retries: int = 0,
         max_backoff_s: float = 5.0,
+        retry_budget_s: float = 30.0,
     ) -> dict:
         """Run one query; optionally retry sheds per the server's hint.
+
+        Retry sleeps use decorrelated jitter (:func:`next_backoff`) and
+        draw from a total time budget of ``retry_budget_s``: once the
+        next sleep would overdraw it the client gives up and returns
+        the shed, so ``retries=1000`` against a down server costs
+        bounded wall clock, not unbounded.
 
         Returns the final wire response dict — possibly still
         ``status="shed"`` once retries are exhausted.  Never raises for
@@ -92,13 +118,20 @@ class ServeClient:
             obj["deadline_s"] = deadline_s
         if self.client_id is not None:
             obj["client_id"] = self.client_id
+        budget = retry_budget_s
+        prev_wait = 0.0
         for attempt in range(retries + 1):
             self._seq += 1
             obj["id"] = f"c{self._seq}"
             resp = self.call(obj)
             if resp.get("status") != "shed" or attempt == retries:
                 return resp
-            wait = min(float(resp.get("retry_after_s") or 0.05), max_backoff_s)
+            hint = float(resp.get("retry_after_s") or 0.05)
+            wait = next_backoff(hint, prev_wait or hint, max_backoff_s, self._rng)
+            if wait > budget:
+                return resp
+            budget -= wait
+            prev_wait = wait
             time.sleep(wait)
         return resp
 

@@ -165,6 +165,9 @@ class OpsServer:
         return status, None, {
             "ready": health["ready"],
             "reasons": health["reasons"],
+            # Informational: a reloading server still serves (the old
+            # generation stays pinned) — reported, not a 503.
+            "reloading": health.get("reloading", False),
             "queue_depth": health["queue_depth"],
             "max_queue": health["max_queue"],
             "dead_workers": health["dead_workers"],
@@ -187,7 +190,10 @@ class OpsServer:
                 else 0.0,
                 token_buckets=self.service.admission.bucket_states(),
                 slo=self.service.slo.snapshot(),
+                breakers=self.service.breakers.states(),
             )
+            if self.service.lifecycle is not None:
+                body["lifecycle"] = self.service.lifecycle.snapshot()
         try:
             from repro.engine.planner import result_cache
 

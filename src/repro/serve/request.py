@@ -12,9 +12,11 @@ can never execute anything.
 :class:`QueryResponse` is what every submission resolves to — including
 rejections: admission-control sheds are ordinary responses with
 ``status="shed"``, a machine-readable ``reason`` (``RETRY_AFTER``,
-``RATE_LIMITED``, ``QUEUE_FULL``, ``SHUTTING_DOWN``), and a
-``retry_after_s`` hint.  Nothing on the serving path raises at a
-client for being overloaded.
+``RATE_LIMITED``, ``QUEUE_FULL``, ``SHUTTING_DOWN``,
+``DEADLINE_EXCEEDED`` when the client's deadline expired in queue or
+mid-scan, ``CIRCUIT_OPEN`` when a failure-class breaker is failing
+fast), and a ``retry_after_s`` hint.  Nothing on the serving path
+raises at a client for being overloaded.
 """
 
 from __future__ import annotations

@@ -37,7 +37,13 @@ import threading
 import time
 from collections import deque
 
-from repro.engine.executor import Executor, SerialExecutor, ThreadExecutor
+from repro.engine.executor import (
+    CancelToken,
+    Executor,
+    QueryCancelled,
+    SerialExecutor,
+    ThreadExecutor,
+)
 from repro.engine.planner import _copy_value, result_cache
 from repro.engine.store import GdeltStore
 from repro.faults import injector as _faults
@@ -48,6 +54,8 @@ from repro.obs.telemetry import SloTracker
 from repro.obs.trace import span as _span
 from repro.serve.admission import AdmissionController
 from repro.serve.batcher import BatchItem, ExecutableOp, compile_request, execute_batch
+from repro.serve.breaker import BreakerBoard
+from repro.serve.lifecycle import StoreLease, StoreLifecycle
 from repro.serve.request import QueryRequest, QueryResponse
 
 __all__ = ["PendingRequest", "QueryService"]
@@ -56,6 +64,13 @@ logger = logging.getLogger(__name__)
 
 #: How many completed-request latencies the service profile remembers.
 _LATENCY_WINDOW = 4096
+
+#: Shed reasons the admission controller itself accounts (its metrics
+#: already count them; the service must not count them twice).
+_ADMISSION_REASONS = frozenset({"RATE_LIMITED", "QUEUE_FULL", "RETRY_AFTER"})
+
+#: Chaos sentinel: a worker that dequeues this exits as if it crashed.
+_KILL = object()
 
 
 class PendingRequest:
@@ -128,11 +143,18 @@ class QueryService:
         prune: forward zone-map pruning to the planner (ablation).
         slo: burn-rate tracker for this service's objectives (default:
             :func:`repro.obs.telemetry.default_serve_objectives`).
+        lifecycle: optional :class:`~repro.serve.lifecycle.StoreLifecycle`
+            — enables zero-downtime hot reload; queries pin the
+            generation they compile against.  Exactly one of ``store``
+            / ``lifecycle`` drives serving (``lifecycle`` wins).
+        breakers: per-failure-class circuit breakers; a fresh board by
+            default.  The ``"execute"`` class gates :meth:`submit` —
+            while open, requests shed immediately with ``CIRCUIT_OPEN``.
     """
 
     def __init__(
         self,
-        store: GdeltStore,
+        store: GdeltStore | None = None,
         workers: int = 2,
         scan_threads: int = 1,
         max_queue: int = 256,
@@ -144,8 +166,18 @@ class QueryService:
         default_deadline_s: float | None = None,
         prune: bool = True,
         slo: SloTracker | None = None,
+        lifecycle: StoreLifecycle | None = None,
+        breakers: BreakerBoard | None = None,
     ) -> None:
-        self.store = store
+        if store is None and lifecycle is None:
+            raise ValueError("QueryService needs a store or a lifecycle")
+        self._store = store
+        #: Optional hot-reload manager.  When set, every scheduler pass
+        #: pins the current generation and each batch carries its own
+        #: lease, so a reload mid-scan cannot free arrays under a worker.
+        self.lifecycle = lifecycle
+        #: Per-failure-class circuit breakers gating :meth:`submit`.
+        self.breakers = breakers if breakers is not None else BreakerBoard()
         self.workers = max(1, workers)
         #: SLO burn-rate tracker fed by every resolution.  Sheds count as
         #: bad events — from the client's side a shed IS a failed request;
@@ -170,7 +202,9 @@ class QueryService:
         self._counts: dict[str, int] = {
             "submitted": 0, "ok": 0, "shed": 0, "error": 0,
             "dedup_hits": 0, "cache_hits": 0, "scans": 0, "batches": 0,
+            "deadline_cancelled": 0, "worker_revives": 0,
         }
+        self._shed_reasons: dict[str, int] = {}
         self._started_s = time.monotonic()
         self._closed = False
         self._stop = threading.Event()
@@ -197,6 +231,18 @@ class QueryService:
 
     # -- submission --------------------------------------------------------
 
+    @property
+    def store(self) -> GdeltStore:
+        """The store generation new requests compile against.
+
+        Static services return their constructor store; lifecycle-backed
+        services return the live generation (an unpinned peek — query
+        paths pin via the lifecycle instead).
+        """
+        if self.lifecycle is not None:
+            return self.lifecycle.current
+        return self._store
+
     def submit(self, request: QueryRequest) -> PendingRequest:
         """Thread-safe submission; always returns a pending response.
 
@@ -215,6 +261,10 @@ class QueryService:
             return pending
         if request.deadline_s is None and self.default_deadline_s is not None:
             request.deadline_s = self.default_deadline_s
+        allowed, breaker_retry = self.breakers.allow("execute")
+        if not allowed:
+            self._shed(pending, "CIRCUIT_OPEN", breaker_retry)
+            return pending
         rejected = self.admission.offer(
             pending, request.client_id, request.priority, request.deadline_s
         )
@@ -233,44 +283,93 @@ class QueryService:
 
     def _scheduler_loop(self) -> None:
         while not self._stop.is_set():
+            self._revive_dead_workers()
             taken = self.admission.take(self.max_batch, timeout=0.1)
             if not taken:
                 continue
-            now = time.monotonic()
-            leaders: list[tuple[PendingRequest, ExecutableOp]] = []
-            for pending in taken:
-                req = pending.request
-                # Expired in line: shed instead of wasting a scan.
-                if (
-                    req.deadline_s is not None
-                    and now - pending.arrival_s > req.deadline_s
-                ):
-                    self._shed(
-                        pending, "RETRY_AFTER",
-                        max(self.admission.ewma_service_s, 0.001),
+            # Pin one generation for this whole pass: every request in
+            # it compiles against the same store, and each queued batch
+            # carries its own lease so a reload publishing mid-scan
+            # cannot release arrays a worker is still walking.
+            lease = self.lifecycle.pin() if self.lifecycle is not None else None
+            store = lease.store if lease is not None else self._store
+            try:
+                now = time.monotonic()
+                leaders: list[tuple[PendingRequest, ExecutableOp]] = []
+                for pending in taken:
+                    req = pending.request
+                    # Expired in line: shed instead of wasting a scan.
+                    if (
+                        req.deadline_s is not None
+                        and now - pending.arrival_s > req.deadline_s
+                    ):
+                        self._shed_deadline(pending)
+                        self.admission.done()
+                        continue
+                    try:
+                        op = compile_request(store, req)
+                    except Exception as exc:
+                        self._error(pending, exc)
+                        self.admission.done()
+                        continue
+                    if self.single_flight and self._attach_duplicate(
+                        pending, op.key
+                    ):
+                        continue
+                    leaders.append((pending, op))
+                if not leaders:
+                    continue
+                if self.batching:
+                    groups: dict[str, list] = {}
+                    for entry in leaders:
+                        groups.setdefault(entry[1].req.table, []).append(entry)
+                    batches = list(groups.values())
+                else:
+                    batches = [[entry] for entry in leaders]
+                for group in batches:
+                    batch_lease = (
+                        StoreLease(store.retain(), lease.generation)
+                        if lease is not None
+                        else None
                     )
-                    self.admission.done()
-                    continue
-                try:
-                    op = compile_request(self.store, req)
-                except Exception as exc:
-                    self._error(pending, exc)
-                    self.admission.done()
-                    continue
-                if self.single_flight and self._attach_duplicate(pending, op.key):
-                    continue
-                leaders.append((pending, op))
-            if not leaders:
+                    self._batches.put((group, batch_lease))
+            finally:
+                if lease is not None:
+                    lease.release()
+
+    def _revive_dead_workers(self) -> None:
+        """Respawn any worker thread that died (chaos kill, fatal bug).
+
+        Runs on the scheduler thread each pass, so a killed worker is
+        back before the next batch needs it; the replacement reuses the
+        dead worker's engine executor.
+        """
+        if self._closed:
+            return
+        for i, t in enumerate(self._threads):
+            if t.is_alive():
                 continue
-            if self.batching:
-                groups: dict[str, list] = {}
-                for entry in leaders:
-                    groups.setdefault(entry[1].req.table, []).append(entry)
-                for group in groups.values():
-                    self._batches.put(group)
-            else:
-                for entry in leaders:
-                    self._batches.put([entry])
+            replacement = threading.Thread(
+                target=self._worker_loop,
+                args=(self._executors[i],),
+                name=f"{t.name}-revived",
+                daemon=True,
+            )
+            self._threads[i] = replacement
+            replacement.start()
+            self._count("worker_revives")
+            _metrics.counter("serve_worker_revives_total").inc()
+            _telemetry.flight().record("worker_revived", thread=t.name)
+            logger.warning("revived dead serve worker %s", t.name)
+
+    def kill_worker(self) -> None:
+        """Chaos hook: the next idle worker exits as if it crashed.
+
+        The scheduler's supervision (:meth:`_revive_dead_workers`)
+        respawns it; the soak harness uses this to prove serving
+        survives a worker death with no lost requests.
+        """
+        self._batches.put(_KILL)
 
     def _attach_duplicate(self, pending: PendingRequest, key: tuple | None) -> bool:
         """Attach to an identical in-flight request; True if attached.
@@ -307,20 +406,52 @@ class QueryService:
 
     def _worker_loop(self, executor: Executor) -> None:
         while True:
-            batch = self._batches.get()
-            if batch is None:  # shutdown sentinel
+            task = self._batches.get()
+            if task is None:  # shutdown sentinel
                 return
+            if task is _KILL:  # chaos: die as if the thread crashed
+                _metrics.counter("serve_worker_kills_total").inc()
+                _telemetry.flight().record(
+                    "worker_killed", thread=threading.current_thread().name
+                )
+                return
+            batch, lease = task
             try:
-                self._execute(batch, executor)
+                self._execute(batch, executor, lease)
             except Exception as exc:
                 logger.exception("serve worker batch failed")
+                self.breakers.failure("execute")
                 for pending, op in batch:
                     for waiter in self._pop_flight(op.key, pending):
                         self._error(waiter, exc)
                         self.admission.done()
+            finally:
+                if lease is not None:
+                    lease.release()
+
+    def _batch_cancel_token(
+        self, batch: list[tuple[PendingRequest, ExecutableOp]]
+    ) -> CancelToken | None:
+        """One cooperative token for a fused batch.
+
+        The scan serves every member, so it may only be abandoned when
+        *all* of them are past their deadlines: the token fires at the
+        latest member deadline.  Any member without a deadline keeps the
+        scan uncancellable (None).
+        """
+        latest = 0.0
+        for pending, _op in batch:
+            d = pending.request.deadline_s
+            if d is None:
+                return None
+            latest = max(latest, pending.arrival_s + d)
+        return CancelToken(deadline_s=latest)
 
     def _execute(
-        self, batch: list[tuple[PendingRequest, ExecutableOp]], executor: Executor
+        self,
+        batch: list[tuple[PendingRequest, ExecutableOp]],
+        executor: Executor,
+        lease: StoreLease | None = None,
     ) -> None:
         t_start = time.monotonic()
         items: list[BatchItem] = []
@@ -334,6 +465,15 @@ class QueryService:
                 _faults.fault_point("serve.request", key=str(pending.request.id))
             except Exception as exc:
                 item.error = exc
+            # A member already past its deadline (queue delay, or the
+            # slow fault above) is cancelled before costing any scan.
+            req = pending.request
+            if (
+                item.error is None
+                and req.deadline_s is not None
+                and time.monotonic() - pending.arrival_s > req.deadline_s
+            ):
+                item.error = QueryCancelled("deadline")
 
         # Result-cache probe: hits complete without scanning.
         cache = result_cache()
@@ -355,12 +495,27 @@ class QueryService:
             with _span(
                 "serve.batch", table=to_scan[0].op.req.table, size=len(to_scan)
             ):
-                execute_batch(to_scan, executor, prune=self.prune)
+                execute_batch(
+                    to_scan, executor, prune=self.prune,
+                    cancel=self._batch_cancel_token(batch),
+                )
             self._count("scans", len(to_scan))
             _metrics.counter("serve_scans_total").inc(len(to_scan))
             for item in to_scan:
                 if item.error is None and item.op.key is not None:
                     cache.put(item.op.key, item.value)
+
+        # Breaker outcome: infrastructure failures (injected aborts,
+        # kernel crashes) count; deadline cancellations are the client's
+        # patience, not the engine's health, and do not.
+        if any(
+            it.error is not None and not isinstance(it.error, QueryCancelled)
+            for it in items
+        ):
+            self.breakers.failure("execute")
+        else:
+            self.breakers.success("execute")
+
         self._count("batches")
         _metrics.histogram("serve_batch_size").observe(len(batch))
 
@@ -373,6 +528,11 @@ class QueryService:
             queue_delay = t_start - pending.arrival_s
             _metrics.histogram("serve_queue_delay_seconds").observe(queue_delay)
             waiters = self._pop_flight(op.key, pending)
+            if isinstance(item.error, QueryCancelled):
+                for waiter in waiters:
+                    self._shed_deadline(waiter)
+                    self.admission.done()
+                continue
             if item.error is not None:
                 for waiter in waiters:
                     self._error(waiter, item.error)
@@ -384,6 +544,7 @@ class QueryService:
                 "batch_size": len(batch),
                 "cache": item.extra.get("cache", "miss"),
                 "rows_planned": item.rows_planned,
+                "store_gen": lease.generation if lease is not None else 0,
             }
             for i, waiter in enumerate(waiters):
                 value = item.value if i == 0 else _copy_value(item.value)
@@ -407,8 +568,23 @@ class QueryService:
         self.slo.observe(latency)
         pending._resolve(QueryResponse(status="ok", value=value, stats=stats))
 
+    def _shed_deadline(self, pending: PendingRequest) -> None:
+        """Shed a request whose deadline expired (in line or mid-scan)."""
+        self._count("deadline_cancelled")
+        _metrics.counter("serve_deadline_cancelled_total").inc()
+        self._shed(
+            pending, "DEADLINE_EXCEEDED",
+            max(self.admission.ewma_service_s, 0.001),
+        )
+
     def _shed(self, pending: PendingRequest, reason: str, retry_after: float) -> None:
         self._count("shed")
+        with self._lock:
+            self._shed_reasons[reason] = self._shed_reasons.get(reason, 0) + 1
+        if reason not in _ADMISSION_REASONS:
+            # Admission-origin sheds are already counted by the
+            # controller; service-origin reasons are counted here.
+            _metrics.counter("serve_shed_total", reason=reason).inc()
         _metrics.counter("serve_requests_total", status="shed").inc()
         self.slo.observe(None, error=True)
         _telemetry.flight().record(
@@ -442,15 +618,21 @@ class QueryService:
         with self._lock:
             counts = dict(self._counts)
             lat = list(self._latencies)
+            shed_reasons = dict(self._shed_reasons)
         return {
             **counts,
             "queue_depth": self.admission.depth(),
             "peak_queue_depth": self.admission.peak_depth,
-            "shed_reasons": dict(self.admission.shed_counts),
+            "shed_reasons": shed_reasons,
             "ewma_service_s": round(self.admission.ewma_service_s, 6),
             "latency": percentiles(lat),
             "uptime_s": round(time.monotonic() - self._started_s, 3),
             "workers": self.workers,
+            "alive_workers": self.alive_workers(),
+            "store_generation": (
+                self.lifecycle.generation if self.lifecycle is not None else 0
+            ),
+            "breakers": self.breakers.states(),
         }
 
     def alive_workers(self) -> int:
@@ -470,6 +652,7 @@ class QueryService:
         depth = self.admission.depth()
         saturated = depth >= self.admission.max_queue
         dead_workers = self.workers - self.alive_workers()
+        reloading = self.lifecycle.reloading if self.lifecycle is not None else False
         reasons = []
         if draining:
             reasons.append("draining")
@@ -479,9 +662,13 @@ class QueryService:
             reasons.append(f"dead_workers={dead_workers}")
         return {
             "live": True,
+            # Reloading does NOT flip readiness — the old generation
+            # keeps serving; it is surfaced so operators expect the
+            # brief latency bump while the swap validates and publishes.
             "ready": not reasons,
             "reasons": reasons,
             "draining": draining,
+            "reloading": reloading,
             "queue_depth": depth,
             "max_queue": self.admission.max_queue,
             "dead_workers": dead_workers,
@@ -512,6 +699,11 @@ class QueryService:
 
         ``drain=True`` (default) finishes queued and in-flight work
         first; late submissions shed with ``SHUTTING_DOWN`` either way.
+        ``drain=False`` abandons queued work but never strands it:
+        every still-unresolved pending — queued in admission, parked in
+        a batch, or attached to an in-flight leader — resolves with a
+        ``SHUTTING_DOWN`` shed, so no client blocks forever on
+        ``result()`` for a response that can no longer arrive.
         """
         if self._closed:
             return
@@ -525,8 +717,28 @@ class QueryService:
             self._batches.put(None)
         for t in self._threads:
             t.join(timeout=5.0)
+        for pending in self.admission.drain_all():
+            self._shed(pending, "SHUTTING_DOWN", 1.0)
+        self._resolve_abandoned_batches()
         for ex in self._executors:
             ex.close()
+
+    def _resolve_abandoned_batches(self) -> None:
+        """Shed batches still queued after the workers stopped."""
+        while True:
+            try:
+                task = self._batches.get_nowait()
+            except queue.Empty:
+                return
+            if task is None or task is _KILL:
+                continue
+            batch, lease = task
+            for pending, op in batch:
+                for waiter in self._pop_flight(op.key, pending):
+                    self._shed(waiter, "SHUTTING_DOWN", 1.0)
+                    self.admission.done()
+            if lease is not None:
+                lease.release()
 
     def __enter__(self) -> "QueryService":
         return self

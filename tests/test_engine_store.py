@@ -103,3 +103,44 @@ class TestSizesAndUrls:
     def test_mention_url_contains_domain(self, tiny_store):
         sid = int(tiny_store.mentions["SourceId"][0])
         assert tiny_store.sources[sid] in tiny_store.mention_url(0)
+
+
+class TestRefcounting:
+    def _store(self, tiny_ds):
+        from repro.engine import GdeltStore
+        from repro.ingest.direct import dataset_to_arrays
+
+        events, mentions, dicts = dataset_to_arrays(tiny_ds, include_urls=True)
+        return GdeltStore.from_arrays(events, mentions, dicts)
+
+    def test_creator_holds_one_reference(self, tiny_ds):
+        store = self._store(tiny_ds)
+        assert store.refs == 1 and not store.released
+        store.release()
+        assert store.refs == 0 and store.released
+
+    def test_retain_release_balance(self, tiny_ds):
+        store = self._store(tiny_ds)
+        assert store.retain() is store
+        store.retain()
+        assert store.refs == 3
+        store.release()
+        store.release()
+        assert not store.released  # creator ref still held
+        store.release()
+        assert store.released
+
+    def test_retain_after_release_raises(self, tiny_ds):
+        import pytest
+
+        store = self._store(tiny_ds)
+        store.release()
+        with pytest.raises(RuntimeError):
+            store.retain()
+
+    def test_release_clears_derived_cache(self, tiny_ds):
+        store = self._store(tiny_ds)
+        store.query("mentions").count()  # populate derived-column cache
+        assert store._cache
+        store.release()
+        assert not store._cache

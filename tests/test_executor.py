@@ -133,3 +133,59 @@ class TestChunkSizing:
 
     def test_minimum_floor(self):
         assert default_chunk_rows(10, 64) == 65_536
+
+
+class TestCancellation:
+    def test_expired_token_cancels_before_first_chunk(self, data):
+        from repro.engine.executor import CancelToken, QueryCancelled
+
+        token = CancelToken(deadline_s=-1.0)  # already past
+        ex = SerialExecutor()
+        with pytest.raises(QueryCancelled):
+            ex.map_chunks(
+                count_kernel_factory(data), len(data), 10_000, cancel=token
+            )
+
+    def test_token_cancels_mid_scan(self, data):
+        from repro.engine.executor import CancelToken, QueryCancelled
+
+        token = CancelToken()
+        seen = {"chunks": 0}
+
+        def kernel(sl: slice):
+            seen["chunks"] += 1
+            if seen["chunks"] == 3:
+                token.cancel("test says stop")
+            return np.bincount(data[sl], minlength=10)
+
+        ex = SerialExecutor()
+        with pytest.raises(QueryCancelled, match="test says stop"):
+            ex.map_chunks(kernel, len(data), 5_000, cancel=token)
+        # Cooperative: at most one chunk ran after the cancel fired.
+        assert seen["chunks"] <= 4
+
+    def test_unset_token_is_free(self, data):
+        import time as _time
+
+        from repro.engine.executor import CancelToken
+
+        # deadline_s is an absolute monotonic timestamp.
+        token = CancelToken(deadline_s=_time.monotonic() + 3600.0)
+        ex = SerialExecutor()
+        parts = ex.map_chunks(
+            count_kernel_factory(data), len(data), 7_777, cancel=token
+        )
+        assert np.array_equal(
+            np.sum(parts, axis=0), np.bincount(data, minlength=10)
+        )
+
+    def test_thread_executor_raises_query_cancelled(self, data):
+        from repro.engine.executor import CancelToken, QueryCancelled
+
+        token = CancelToken()
+        token.cancel("nope")
+        with ThreadExecutor(2) as ex:
+            with pytest.raises(QueryCancelled):
+                ex.map_chunks(
+                    count_kernel_factory(data), len(data), 5_000, cancel=token
+                )

@@ -518,3 +518,218 @@ class TestSocketServer:
                         table="mentions", op="count", retries=3
                     )
                     assert third["status"] == "ok"
+
+
+class TestDeadlinesAndBreakers:
+    def test_deadline_cancel_sheds_and_frees_the_worker(self, tiny_store):
+        plan = faults.FaultPlan(
+            specs=(
+                faults.FaultSpec(
+                    site="serve.request", kind="slow", key="doomed-*",
+                    prob=1.0, delay_s=0.05, fail_attempts=10**6,
+                ),
+            ),
+        )
+        with faults.active(plan):
+            with QueryService(tiny_store, workers=1, max_batch=1) as svc:
+                req = QueryRequest(
+                    table="mentions", op="count", deadline_s=0.01
+                )
+                req.id = "doomed-1"
+                resp = svc.submit(req).result(timeout=30.0)
+                after = svc.query("mentions", op="count")
+                stats = svc.stats()
+        assert resp.status == "shed"
+        assert resp.reason == "DEADLINE_EXCEEDED"
+        assert resp.retry_after_s > 0
+        assert stats["deadline_cancelled"] >= 1
+        assert stats["shed_reasons"].get("DEADLINE_EXCEEDED", 0) >= 1
+        # The worker survived the cancellation and kept serving.
+        assert after.ok and stats["alive_workers"] == 1
+
+    def test_patient_deadline_is_met_despite_slow_fault(self, tiny_store):
+        plan = faults.FaultPlan(
+            specs=(
+                faults.FaultSpec(
+                    site="serve.request", kind="slow", key="patient-*",
+                    prob=1.0, delay_s=0.02, fail_attempts=10**6,
+                ),
+            ),
+        )
+        with faults.active(plan):
+            with QueryService(tiny_store, workers=1) as svc:
+                req = QueryRequest(
+                    table="mentions", op="count", deadline_s=30.0
+                )
+                req.id = "patient-1"
+                resp = svc.submit(req).result(timeout=30.0)
+        assert resp.ok
+        assert resp.value == _direct_count(tiny_store)
+
+    def test_execute_breaker_opens_then_sheds_circuit_open(self, tiny_store):
+        from repro.serve import BreakerBoard
+
+        plan = faults.FaultPlan(
+            specs=(
+                faults.FaultSpec(
+                    site="serve.request", kind="abort", key="boom-*",
+                ),
+            ),
+        )
+        board = BreakerBoard(failure_threshold=2, cooldown_s=60.0)
+        with faults.active(plan):
+            with QueryService(tiny_store, workers=1, breakers=board) as svc:
+                for i in range(2):
+                    req = QueryRequest(table="mentions", op="count")
+                    req.id = f"boom-{i}"
+                    assert svc.submit(req).result(timeout=30.0).status == "error"
+                shed = svc.submit(
+                    QueryRequest(table="mentions", op="count")
+                ).result(timeout=30.0)
+                stats = svc.stats()
+        assert shed.status == "shed"
+        assert shed.reason == "CIRCUIT_OPEN"
+        assert shed.retry_after_s > 0
+        assert stats["breakers"]["execute"]["state"] == "open"
+        assert stats["shed_reasons"].get("CIRCUIT_OPEN", 0) >= 1
+
+    def test_shed_responses_do_not_trip_the_breaker(self, tiny_store):
+        from repro.serve import BreakerBoard
+
+        board = BreakerBoard(failure_threshold=1)
+        with QueryService(
+            tiny_store, workers=1, rate_limit=1.0, burst=1.0, breakers=board
+        ) as svc:
+            assert svc.query("mentions", op="count").ok
+            shed = svc.query("mentions", op="count")
+            assert shed.status == "shed" and shed.reason == "RATE_LIMITED"
+            # Admission sheds are not execution failures.
+            assert svc.stats()["breakers"].get("execute", {}).get(
+                "state", "closed"
+            ) == "closed"
+
+    def test_killed_worker_is_revived(self, tiny_store):
+        with QueryService(tiny_store, workers=2) as svc:
+            assert svc.query("mentions", op="count").ok
+            svc.kill_worker()
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                if (
+                    svc.alive_workers() == 2
+                    and svc.stats()["worker_revives"] >= 1
+                ):
+                    break
+                # Revival happens on the scheduler pass: poke it.
+                svc.query("mentions", op="count")
+                time.sleep(0.01)
+            stats = svc.stats()
+            assert stats["worker_revives"] >= 1
+            assert svc.alive_workers() == 2
+            assert svc.query("mentions", op="count").ok
+
+
+class TestNonDrainClose:
+    def test_close_without_drain_resolves_queued_as_shutting_down(
+        self, tiny_store
+    ):
+        """Regression: drain=False must never strand a waiter forever."""
+        plan = faults.FaultPlan(
+            specs=(
+                faults.FaultSpec(
+                    site="serve.request", kind="slow", prob=1.0,
+                    delay_s=0.3, fail_attempts=10**6,
+                ),
+            ),
+        )
+        with faults.active(plan):
+            svc = QueryService(tiny_store, workers=1, max_batch=1)
+            pendings = [
+                svc.submit(
+                    QueryRequest(
+                        table="mentions", op="count",
+                        where=parse_predicate(f"Delay > {i}"),
+                    )
+                )
+                for i in range(8)
+            ]
+            svc.close(drain=False, timeout=30.0)
+        assert all(p.done() for p in pendings)
+        responses = [p.result(0) for p in pendings]
+        assert all(r.status in ("ok", "shed") for r in responses)
+        shed = [r for r in responses if r.status == "shed"]
+        assert shed, "nothing was abandoned — the test raced drain"
+        assert all(r.reason == "SHUTTING_DOWN" for r in shed)
+        assert all(r.retry_after_s > 0 for r in shed)
+
+
+class TestClientBackoff:
+    def test_next_backoff_floor_is_the_server_hint(self):
+        import random as _random
+
+        from repro.serve import next_backoff
+
+        rng = _random.Random(7)
+        prev = 0.0
+        for _ in range(200):
+            wait = next_backoff(0.05, prev or 0.05, 5.0, rng)
+            assert 0.05 <= wait <= max(0.05, (prev or 0.05) * 3.0)
+            prev = wait
+
+    def test_next_backoff_respects_the_cap(self):
+        import random as _random
+
+        from repro.serve import next_backoff
+
+        rng = _random.Random(3)
+        assert next_backoff(10.0, 10.0, 0.5, rng) == 0.5
+
+    def test_next_backoff_is_deterministic_under_seeded_rng(self):
+        import random as _random
+
+        from repro.serve import next_backoff
+
+        a = [
+            next_backoff(0.1, 0.1 * (i + 1), 5.0, _random.Random(99))
+            for i in range(5)
+        ]
+        b = [
+            next_backoff(0.1, 0.1 * (i + 1), 5.0, _random.Random(99))
+            for i in range(5)
+        ]
+        assert a == b
+
+    def test_retry_budget_caps_total_backoff(self, tiny_store, monkeypatch):
+        """Scripted shed storm: the client must give up once the budget
+        is spent, long before ``retries`` is exhausted."""
+        import random as _random
+
+        sleeps: list[float] = []
+        calls = {"n": 0}
+        with QueryService(tiny_store, workers=1) as svc:
+            with ServeServer(svc, port=0) as server:
+                with ServeClient(
+                    "127.0.0.1", server.port, rng=_random.Random(42)
+                ) as client:
+                    def scripted_call(obj):
+                        calls["n"] += 1
+                        return {
+                            "status": "shed",
+                            "reason": "RATE_LIMITED",
+                            "retry_after_s": 0.2,
+                        }
+
+                    monkeypatch.setattr(client, "call", scripted_call)
+                    monkeypatch.setattr(
+                        "repro.serve.client.time.sleep",
+                        lambda s: sleeps.append(s),
+                    )
+                    resp = client.query(
+                        table="mentions", op="count", retries=1000,
+                        max_backoff_s=0.5, retry_budget_s=1.0,
+                    )
+        assert resp["status"] == "shed"
+        assert sum(sleeps) <= 1.0
+        # 1000 retries were allowed but the budget stopped it after a
+        # handful (each sleep is at least the 0.2 s hint).
+        assert 2 <= calls["n"] <= 7
+        assert all(w >= 0.2 for w in sleeps)

@@ -133,3 +133,109 @@ class TestLiveFollower:
         follower = LiveFollower(stage)
         follower.poll()
         assert follower.report.corrupt_archives == 1
+
+
+class TestChecksumVerification:
+    def test_checksum_mismatch_skipped_before_parsing(self, raw_dir, tmp_path):
+        """A staged archive whose bytes drifted from the master list's
+        md5 must never reach the accumulators."""
+        stage = tmp_path / "mirror"
+        split_mirror(raw_dir, stage, 1.0)
+        victim = sorted(p for p in stage.iterdir() if p.suffix == ".zip")[0]
+        victim.write_bytes(victim.read_bytes() + b"trailing garbage")
+
+        clean = LiveFollower(raw_dir, verify_checksums=True)
+        clean.poll()
+        tainted = LiveFollower(stage, verify_checksums=True)
+        result = tainted.poll()
+        assert not result.idle
+        assert tainted.report.checksum_mismatch == 1
+        assert victim.name in tainted.report.examples["checksum_mismatch"]
+        # Fewer rows than the pristine mirror: the bad chunk was dropped
+        # whole, not partially parsed.
+        assert (
+            tainted.n_events + tainted.n_mentions
+            < clean.n_events + clean.n_mentions
+        )
+
+    def test_unverified_follower_accepts_same_bytes(self, raw_dir):
+        follower = LiveFollower(raw_dir, verify_checksums=False)
+        result = follower.poll()
+        assert not result.idle
+        assert follower.report.checksum_mismatch == 0
+
+
+class TestInterleavedSnapshots:
+    def test_poll_snapshot_interleaving_is_monotone(self, raw_dir, tmp_path):
+        """snapshot / poll / snapshot / poll: every snapshot is a
+        consistent superset of the previous one."""
+        stage = tmp_path / "mirror"
+        late = split_mirror(raw_dir, stage, 0.34)
+        follower = LiveFollower(stage)
+
+        counts = []
+        publish_at = [len(late) * 2 // 3, len(late) // 3, 0]
+        remaining = list(late)
+        while True:
+            follower.poll()
+            snap = follower.snapshot()
+            ev = snap.n_rows("events")
+            mt = snap.n_rows("mentions")
+            assert ev == follower.n_events and mt == follower.n_mentions
+            counts.append((ev, mt))
+            # A snapshot is a real store: queries run while the mirror
+            # keeps growing underneath.
+            assert snap.query("mentions").count().value == mt
+            if not remaining:
+                break
+            cut = publish_at.pop(0)
+            batch, remaining = remaining[:cut], remaining[cut:] if cut else (
+                remaining, []
+            )
+            if cut == 0:
+                batch, remaining = remaining, []
+            for line in batch:
+                name = line.split(" ")[2].rsplit("/", 1)[-1]
+                shutil.copy(raw_dir / name, stage / name)
+            master = (stage / "masterfilelist.txt").read_text()
+            (stage / "masterfilelist.txt").write_text(
+                master + "\n".join(batch) + "\n"
+            )
+        for (e0, m0), (e1, m1) in zip(counts, counts[1:]):
+            assert e1 >= e0 and m1 >= m0
+        assert counts[-1] > counts[0]
+
+
+class TestFinalizeMissing:
+    def test_finalize_missing_is_idempotent(self, raw_dir, tmp_path):
+        stage = tmp_path / "mirror"
+        stage.mkdir()
+        # Full master list, no archives at all: everything is missing.
+        shutil.copy(raw_dir / "masterfilelist.txt", stage)
+        follower = LiveFollower(stage)
+        assert follower.poll().idle
+        first = follower.finalize_missing()
+        assert first > 0
+        assert follower.report.missing_archives == first
+        # Second audit: everything already recorded, nothing new.
+        assert follower.finalize_missing() == 0
+        assert follower.poll().idle  # missing entries are now seen
+
+    def test_late_archive_not_recorded_after_it_arrives(
+        self, raw_dir, tmp_path
+    ):
+        stage = tmp_path / "mirror"
+        late = split_mirror(raw_dir, stage, 0.9)
+        follower = LiveFollower(stage)
+        follower.poll()
+        # The held-back archives arrive before the audit runs.
+        for line in late:
+            name = line.split(" ")[2].rsplit("/", 1)[-1]
+            shutil.copy(raw_dir / name, stage / name)
+        master = (stage / "masterfilelist.txt").read_text()
+        (stage / "masterfilelist.txt").write_text(
+            master + "\n".join(late) + "\n"
+        )
+        follower.poll()
+        assert follower.finalize_missing() == 0
+        assert follower.report.missing_archives == 0

@@ -63,6 +63,14 @@ GUARDS: dict[str, tuple[Metric, ...]] = {
         Metric("served.scans", "lower", 0.05),
         Metric("single_flight.scans", "lower", 0.0),
     ),
+    "BENCH_shard.json": (
+        # Byte-identity and degraded-mode behaviour are absolute
+        # contracts; pruning must keep skipping whole shards.
+        Metric("identical.mismatches", "lower", 0.0),
+        Metric("pruning.shards_pruned", "higher", 0.0),
+        Metric("partial.missing_shards", "lower", 0.0),
+        Metric("routed.throughput_rps", "higher", 0.50),
+    ),
     "BENCH_soak.json": (
         # The robustness invariants are absolute: any error or
         # cross-generation mix is a failure regardless of the baseline.

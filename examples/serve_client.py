@@ -5,19 +5,26 @@ Covers the concurrent-serving surface end to end:
 
 1. generate a corpus and start a `QueryService` + LDJSON socket server
    in this process (in production: ``repro-gdelt serve db/``),
-2. run scalar, filtered, and grouped queries through `ServeClient`,
+2. run the same fluent query code a local store takes, over the wire,
+   through ``repro.connect()`` — the recommended client surface,
 3. fire identical queries from many client threads and watch
    single-flight dedup collapse them to one scan,
 4. overload a deadline-constrained client and handle `shed` responses
    with the server's `retry_after_s` hint,
 5. read the service profile (throughput, sheds, latency percentiles).
 
+`ServeClient` (steps 3–4) is the low-level LDJSON client: it returns
+raw response dicts and is what `RemoteStore` and the shard router are
+built on.  New code should start from ``repro.connect()``.
+
 Run:  python examples/serve_client.py
 """
 
 import threading
 
+import repro
 from repro import engine, ingest, synth
+from repro.engine import col
 from repro.serve import QueryService, ServeClient, ServeServer
 
 
@@ -33,19 +40,22 @@ def main() -> None:
     print(f"serving {store.n_mentions:,} mentions on "
           f"{server.host}:{server.port}\n")
 
-    # 2. The basic query surface, over the wire.
-    with ServeClient(server.host, server.port) as client:
-        total = client.query(table="mentions", op="count")
-        late = client.query(table="mentions", op="count",
-                            where="Delay > 96")
-        by_quarter = client.query(table="mentions", op="count",
-                                  group_by="Quarter")
-        delay = client.query(table="mentions", op="mean", column="Delay",
-                             where="Confidence >= 20")
-        print(f"mentions total            {total['value']:,}")
-        print(f"  captured >1 day late    {late['value']:,}")
-        print(f"  busiest quarter         {max(by_quarter['value']):,}")
-        print(f"  mean delay (conf>=20)   {delay['value']:.1f} intervals\n")
+    # 2. The basic query surface, over the wire: repro.connect() speaks
+    #    the protocol but looks exactly like a local GdeltStore.
+    with repro.connect(f"{server.host}:{server.port}") as remote:
+        total = remote.query("mentions").count()
+        late = remote.query("mentions").filter(col("Delay") > 96).count()
+        by_quarter = remote.query("mentions").group_by("Quarter").count()
+        delay = (
+            remote.query("mentions")
+            .filter(col("Confidence") >= 20)
+            .mean("Delay")
+        )
+        print(f"mentions total            {total.value:,}")
+        print(f"  captured >1 day late    {late.value:,} "
+              f"(server cache: {late.stats['cache']})")
+        print(f"  busiest quarter         {max(by_quarter.value):,}")
+        print(f"  mean delay (conf>=20)   {delay.value:.1f} intervals\n")
 
     # 3. 16 clients ask the same question at once: one scan serves all.
     def one_client(results: list) -> None:

@@ -28,8 +28,24 @@ from repro import analysis, engine, gdelt, ingest, parallel, storage, synth
 
 __version__ = "1.0.0"
 
+
+def connect(address, **kwargs):
+    """Connect to a serving endpoint: ``repro.connect("host:port")``.
+
+    Returns a :class:`~repro.serve.remote.RemoteStore` whose fluent
+    query surface matches a local :class:`~repro.engine.GdeltStore`, so
+    the same query code runs against a local store, a single server, or
+    a shard router.  Imported lazily so ``import repro`` stays free of
+    the serving stack.
+    """
+    from repro.serve.remote import connect as _connect
+
+    return _connect(address, **kwargs)
+
+
 __all__ = [
     "analysis",
+    "connect",
     "engine",
     "gdelt",
     "ingest",

@@ -12,6 +12,8 @@ The future-work Python interface the paper promises, as a CLI::
     repro-gdelt explain db/ --where "Delay > 96"         # planner decisions
     repro-gdelt serve db/ --port 7311 --workers 4        # concurrent query service
     repro-gdelt bench-serve db/ --clients 32             # serving benchmark
+    repro-gdelt split db/ shards/ --shards 4             # partition for sharding
+    repro-gdelt shard-serve shards/shard* --port 7411    # scatter-gather router
 
 Progress reporting goes through stdlib ``logging`` to stderr (``-v``
 for debug detail, ``-q`` for warnings only); stdout carries only the
@@ -256,6 +258,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="where to write the JSON report",
     )
     add_metrics_out(bs)
+
+    sp = sub.add_parser(
+        "split",
+        help="split a dataset into N shard datasets for shard-serve",
+    )
+    sp.add_argument("dataset", type=Path)
+    sp.add_argument("out", type=Path, help="directory to create shard0..N-1 in")
+    sp.add_argument("--shards", type=int, default=4)
+    sp.add_argument(
+        "--zone-chunk-rows", type=int, default=None,
+        help="zone-map granularity of the shard datasets (default: writer's)",
+    )
+
+    ss = sub.add_parser(
+        "shard-serve",
+        help="scatter-gather router over per-shard serving backends",
+    )
+    ss.add_argument(
+        "shards", nargs="*", type=Path,
+        help="shard dataset directories (one backend process is spawned "
+        "for each; see 'split')",
+    )
+    ss.add_argument(
+        "--backend", action="append", default=[], metavar="HOST:PORT",
+        help="attach to an already-running backend instead of spawning "
+        "one (repeatable; composes with positional shard dirs)",
+    )
+    ss.add_argument("--host", default="127.0.0.1")
+    ss.add_argument(
+        "--port", type=int, default=7411, help="0 picks an ephemeral port"
+    )
+    ss.add_argument(
+        "--partial-ok", action="store_true",
+        help="with shards down, answer degraded PARTIAL_RESULT responses "
+        "(missing shards listed) instead of failing the request",
+    )
+    ss.add_argument(
+        "--deadline-fraction", type=float, default=0.9,
+        help="share of a request's remaining deadline granted to the "
+        "backends (the rest is merge budget)",
+    )
+    ss.add_argument(
+        "--ops-port", type=int, default=None,
+        help="also serve the router's HTTP ops plane on this port; "
+        "enables observability; 0 picks an ephemeral port",
+    )
     return p
 
 
@@ -617,6 +665,97 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_split(args) -> int:
+    from repro.shard import split_dataset
+
+    t0 = time.perf_counter()
+    paths = split_dataset(
+        args.dataset, args.out, args.shards,
+        zone_chunk_rows=args.zone_chunk_rows,
+    )
+    from repro.storage.reader import DatasetReader
+
+    for path in paths:
+        reader = DatasetReader(path, mode="mmap")
+        stamp = reader.manifest.meta.get("shard", {})
+        print(
+            f"{path}: mentions rows [{stamp.get('row_lo', 0):,}, "
+            f"{stamp.get('row_hi', 0):,}), events replicated "
+            f"({reader.rows('events'):,} rows)"
+        )
+    logger.info(
+        "split %s into %d shards in %.1fs",
+        args.dataset, len(paths), time.perf_counter() - t0,
+    )
+    return 0
+
+
+def _cmd_shard_serve(args) -> int:
+    from repro.serve import OpsServer, ServeServer
+    from repro.shard import ShardRouter, launch_shards
+
+    if not args.shards and not args.backend:
+        logger.error("shard-serve needs shard directories and/or --backend")
+        return 2
+    if args.ops_port is not None:
+        import repro.obs as obs
+
+        obs.enable()
+
+    procs = launch_shards(args.shards) if args.shards else []
+    for proc in procs:
+        logger.info("spawned backend %s for %s", proc.address, proc.dataset)
+    addresses = [p.address for p in procs] + list(args.backend)
+    router = None
+    server = None
+    ops = None
+    try:
+        router = ShardRouter(
+            addresses,
+            partial_ok=args.partial_ok,
+            deadline_fraction=args.deadline_fraction,
+        )
+        server = ServeServer(router, host=args.host, port=args.port)
+        if args.ops_port is not None:
+            ops = OpsServer(router, host=args.host, port=args.ops_port)
+            logger.info("ops plane on http://%s:%d/metrics", ops.host, ops.port)
+        logger.info(
+            "routing %d shards on %s:%d (partial_ok=%s)",
+            len(router.map), server.host, server.port, args.partial_ok,
+        )
+        print(f"listening on {server.host}:{server.port}", flush=True)
+        if ops is not None:
+            print(f"ops on {ops.host}:{ops.port}", flush=True)
+        reported_dead: set[str] = set()
+        while True:
+            time.sleep(0.5)
+            for proc in procs:
+                if not proc.alive() and proc.address not in reported_dead:
+                    reported_dead.add(proc.address)
+                    logger.warning(
+                        "backend %s died (breaker will degrade it)",
+                        proc.address,
+                    )
+    except KeyboardInterrupt:
+        logger.info("shutting down router ...")
+    finally:
+        if server is not None:
+            server.close()
+        if router is not None:
+            stats = router.stats()
+            router.close()
+            logger.info(
+                "routed %d requests (%d ok, %d partial, %d shed, %d error)",
+                stats["submitted"], stats["ok"], stats["partial"],
+                stats["shed"], stats["error"],
+            )
+        if ops is not None:
+            ops.close()
+        for proc in procs:
+            proc.kill()
+    return 0
+
+
 def _cmd_bench_serve(args) -> int:
     from repro.engine import GdeltStore
     from repro.serve.bench import run_serve_bench
@@ -695,6 +834,8 @@ def main(argv: list[str] | None = None) -> int:
         "explain": _cmd_explain,
         "serve": _cmd_serve,
         "bench-serve": _cmd_bench_serve,
+        "split": _cmd_split,
+        "shard-serve": _cmd_shard_serve,
     }
     rc = handlers[args.command](args)
     if metrics_out is not None and rc == 0:

@@ -25,6 +25,8 @@ __all__ = [
     "group_max",
     "group_mean",
     "group_median",
+    "group_stats_dict",
+    "topk_from_counts",
     "group_count_2d",
     "group_sum_2d",
 ]
@@ -143,6 +145,38 @@ def group_median(
     mid2 = starts + counts // 2
     out[group_ids] = (v[mid] + v[mid2]) / 2.0
     return out
+
+
+def group_stats_dict(
+    keys: np.ndarray, values: np.ndarray, n_groups: int
+) -> dict[str, np.ndarray]:
+    """The ``stats`` terminal's reduce: min/max/mean/median per group.
+
+    The single source of truth shared by the ``Query`` terminal, the
+    serving batcher, and the shard router's partial merge — all three
+    compact passing (key, value) pairs first and then run this once, so
+    a value computed by any of them is byte-identical to the others.
+    """
+    return {
+        "min": group_min(keys, values, n_groups),
+        "max": group_max(keys, values, n_groups),
+        "mean": group_mean(keys, values, n_groups),
+        "median": group_median(keys, values, n_groups),
+    }
+
+
+def topk_from_counts(counts: np.ndarray, k: int) -> dict[str, np.ndarray]:
+    """Top-``k`` groups of a dense per-group vector.
+
+    Deterministic selection: descending count, ascending key on ties,
+    zero-count groups excluded (``k`` shrinks to the nonzero tail).
+    Shared by the local ``top`` terminal and the shard router's merge,
+    so a scatter-gathered top-k matches a single-store run exactly.
+    """
+    counts = np.asarray(counts)
+    order = np.lexsort((np.arange(len(counts)), -counts))[: max(0, int(k))]
+    order = order[counts[order] > 0]
+    return {"keys": order.astype(np.int64), "counts": counts[order]}
 
 
 def group_count_2d(

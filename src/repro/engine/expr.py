@@ -29,7 +29,7 @@ import re
 
 import numpy as np
 
-__all__ = ["Expr", "col", "const", "parse_predicate"]
+__all__ = ["Expr", "col", "const", "parse_predicate", "to_conjuncts"]
 
 Table = dict[str, np.ndarray]
 
@@ -403,3 +403,78 @@ def parse_predicate(text: str) -> Expr:
         "<": c < value, "<=": c <= value, ">": c > value,
         ">=": c >= value, "==": c == value, "!=": c != value,
     }[op]
+
+
+#: Comparison ufunc -> wire operator text (the inverse of parse_predicate).
+_OP_TEXT = {
+    np.less: "<", np.less_equal: "<=", np.greater: ">",
+    np.greater_equal: ">=", np.equal: "==", np.not_equal: "!=",
+}
+
+
+def _literal(value) -> str:
+    """Render one numeric constant in the predicate grammar.
+
+    Raises:
+        ValueError: for values the grammar cannot carry (non-numeric,
+            exponent-notation floats, NaN/inf).
+    """
+    value = _scalar(value)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ValueError(f"constant {value!r} is not expressible on the wire")
+    if isinstance(value, float):
+        if value != value or value in (float("inf"), float("-inf")):
+            raise ValueError(f"constant {value!r} is not expressible on the wire")
+        if value.is_integer():
+            return str(int(value))
+        text = repr(value)
+    else:
+        text = str(value)
+    if not re.fullmatch(r"-?\d+(?:\.\d+)?", text):
+        raise ValueError(f"constant {value!r} is not expressible on the wire")
+    return text
+
+
+def _conjunct_text(node: Expr) -> str:
+    """One leaf conjunct as predicate text; raises when inexpressible."""
+    if isinstance(node, _BinOp) and node.op in _OP_TEXT:
+        left, right, op = node.left, node.right, node.op
+        if isinstance(left, _Const) and isinstance(right, _Col):
+            left, right, op = right, left, _FLIP[op]
+        if isinstance(left, _Col) and isinstance(right, _Const):
+            return f"{left.name} {_OP_TEXT[op]} {_literal(right.value)}"
+        raise ValueError(
+            f"comparison {node!r} is not COLUMN-vs-CONSTANT; "
+            "not expressible on the wire"
+        )
+    if isinstance(node, _IsIn) and isinstance(node.inner, _Col):
+        values = ",".join(_literal(v) for v in node.values.tolist())
+        if not values:
+            raise ValueError("empty isin() is not expressible on the wire")
+        return f"{node.inner.name} in {values}"
+    raise ValueError(
+        f"expression {node!r} is not expressible on the wire "
+        "(only AND-ed COLUMN-vs-CONSTANT comparisons and isin)"
+    )
+
+
+def to_conjuncts(expr: Expr | None) -> list[str]:
+    """Serialize a filter to the wire's textual conjunct list.
+
+    The exact inverse of AND-folding :func:`parse_predicate` over the
+    result: only conjunctions of column-vs-constant comparisons and
+    numeric ``isin`` are expressible — the same grammar the server
+    parses, so a remote filter can never widen the server's attack
+    surface.  Used by :class:`repro.serve.remote.RemoteStore` to ship
+    ``store.query(...).filter(expr)`` filters to a server or router.
+
+    Raises:
+        ValueError: when the expression uses arithmetic, OR/NOT, or
+            non-numeric constants — with a message naming the offending
+            node so callers can rewrite the filter.
+    """
+    if expr is None:
+        return []
+    if isinstance(expr, _BinOp) and expr.op is np.logical_and:
+        return to_conjuncts(expr.left) + to_conjuncts(expr.right)
+    return [_conjunct_text(expr)]

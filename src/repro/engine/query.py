@@ -36,11 +36,9 @@ import numpy as np
 from repro.engine.aggregate import (
     group_count,
     group_count_2d,
-    group_max,
-    group_mean,
-    group_median,
-    group_min,
+    group_stats_dict,
     group_sum,
+    topk_from_counts,
 )
 from repro.engine.executor import Executor, SerialExecutor
 from repro.engine.expr import Expr
@@ -94,11 +92,16 @@ class QueryResult:
             pruning counts and the cache status (``hit``/``miss``).
         profile: per-chunk execution profile (None when observability is
             off or the result came from the cache).
+        stats: serving telemetry for results produced by a remote server
+            (:func:`repro.connect`) — queue delay, batch size, shard
+            fan-out, ``missing_shards`` on partial results.  None for
+            local execution.
     """
 
     value: object
     plan: Plan | None = field(default=None, compare=False)
     profile: QueryProfile | None = field(default=None, compare=False)
+    stats: dict | None = field(default=None, compare=False)
 
 
 class Query:
@@ -513,14 +516,30 @@ class Query:
             else:
                 k = np.zeros(0, dtype=np.int64)
                 v = np.zeros(0)
-            return {
-                "min": group_min(k, v, n_groups),
-                "max": group_max(k, v, n_groups),
-                "mean": group_mean(k, v, n_groups),
-                "median": group_median(k, v, n_groups),
-            }
+            return group_stats_dict(k, v, n_groups)
 
         return self._run("groupby_stats", kernel_for, reduce, sig=sig)
+
+    def _grouped_top(self, keys, n_groups: int, k_top: int, sig: tuple | None):
+        """Top-``k_top`` groups by row count (descending, key ties
+        ascending; zero-count groups excluded)."""
+
+        def kernel_for(needs_mask):
+            def kernel(sl: slice) -> np.ndarray:
+                m = self._mask_abs(sl) if needs_mask(sl) else None
+                return group_count(keys[sl], n_groups, m)
+
+            return kernel
+
+        def reduce(parts, _):
+            counts = (
+                np.sum(parts, axis=0)
+                if parts
+                else np.zeros(n_groups, dtype=np.int64)
+            )
+            return topk_from_counts(np.asarray(counts, dtype=np.int64), k_top)
+
+        return self._run("groupby_top", kernel_for, reduce, sig=sig)
 
     # -- deprecated positional group-by API ----------------------------------
 
@@ -594,6 +613,16 @@ class GroupedQuery:
         """min/max/mean/median of ``column`` per group."""
         return self._q._grouped_stats(
             self._keys, column, self.n_groups, self._sig("stats", column)
+        )
+
+    def top(self, k: int):
+        """The ``k`` busiest groups: ``{"keys", "counts"}`` arrays sorted
+        by descending row count (ascending key on ties)."""
+        k = int(k)
+        if k < 1:
+            raise ValueError("top(k) requires k >= 1")
+        return self._q._grouped_top(
+            self._keys, self.n_groups, k, self._sig("top") + (k,)
         )
 
 

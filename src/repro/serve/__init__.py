@@ -38,6 +38,22 @@ from repro.serve.lifecycle import (
     StoreLifecycle,
 )
 from repro.serve.ops import METRICS_CONTENT_TYPE, OpsServer
+from repro.serve.protocol import (
+    CAPABILITIES,
+    MIN_PROTOCOL_VERSION,
+    PROTOCOL_VERSION,
+    RETRYABLE_CODES,
+    ErrorCode,
+    negotiate_hello,
+    store_meta,
+)
+from repro.serve.remote import (
+    RemoteError,
+    RemoteGroupedQuery,
+    RemoteQuery,
+    RemoteStore,
+    connect,
+)
 from repro.serve.request import (
     GROUP_OPS,
     OPS,
@@ -52,25 +68,37 @@ __all__ = [
     "AdmissionController",
     "BatchItem",
     "BreakerBoard",
+    "CAPABILITIES",
     "CircuitBreaker",
+    "ErrorCode",
     "ExecutableOp",
     "GROUP_OPS",
     "LifecycleError",
     "METRICS_CONTENT_TYPE",
+    "MIN_PROTOCOL_VERSION",
     "OPS",
     "OpsServer",
+    "PROTOCOL_VERSION",
     "PendingRequest",
     "QueryRequest",
     "QueryResponse",
     "QueryService",
+    "RETRYABLE_CODES",
     "ReloadResult",
+    "RemoteError",
+    "RemoteGroupedQuery",
+    "RemoteQuery",
+    "RemoteStore",
     "ServeClient",
     "ServeServer",
     "StoreLease",
     "StoreLifecycle",
     "TokenBucket",
     "compile_request",
+    "connect",
     "execute_batch",
+    "negotiate_hello",
     "next_backoff",
     "request_from_wire",
+    "store_meta",
 ]

@@ -30,6 +30,7 @@ import time
 from dataclasses import dataclass
 
 from repro.obs import metrics as _metrics
+from repro.serve.protocol import ErrorCode
 
 __all__ = ["TokenBucket", "AdmissionController", "Admitted"]
 
@@ -151,14 +152,14 @@ class AdmissionController:
                     self._buckets[client_id] = bucket
                 wait = bucket.try_acquire(now)
                 if wait > 0.0:
-                    return self._shed_locked("RATE_LIMITED", wait)
+                    return self._shed_locked(ErrorCode.RATE_LIMITED, wait)
             if len(self._heap) >= self.max_queue:
                 return self._shed_locked(
-                    "QUEUE_FULL", max(self._estimate_locked(), 0.001)
+                    ErrorCode.QUEUE_FULL, max(self._estimate_locked(), 0.001)
                 )
             est = self._estimate_locked(extra=1)
             if deadline_s is not None and est > deadline_s:
-                return self._shed_locked("RETRY_AFTER", est)
+                return self._shed_locked(ErrorCode.RETRY_AFTER, est)
             self._seq += 1
             heapq.heappush(self._heap, Admitted(priority, self._seq, pending))
             self.admitted_total += 1
@@ -168,6 +169,7 @@ class AdmissionController:
             return None
 
     def _shed_locked(self, reason: str, retry_after: float) -> tuple[str, float]:
+        reason = str(reason)
         self.shed_counts[reason] = self.shed_counts.get(reason, 0) + 1
         _metrics.counter("serve_shed_total", reason=reason).inc()
         return reason, retry_after

@@ -30,11 +30,9 @@ import numpy as np
 
 from repro.engine.aggregate import (
     group_count,
-    group_max,
-    group_mean,
-    group_median,
-    group_min,
+    group_stats_dict,
     group_sum,
+    topk_from_counts,
 )
 from repro.engine.executor import CancelToken, Executor, QueryCancelled
 from repro.engine.planner import Plan, fuse_plans, plan_query, request_key
@@ -86,6 +84,13 @@ class ExecutableOp:
         self.sig = terminal_signature(
             req.op, req.column, group=group, n_groups=self._n_groups if group else None
         )
+        if req.op == "top":
+            self.sig = self.sig + (int(req.k),)
+        if req.partials:
+            # Partial-aggregate mode returns a different value shape, so
+            # it must occupy a different result-cache entry than the
+            # finalized terminal.
+            self.sig = self.sig + ("partial",)
         self.key = request_key(
             store, req.table, req.where, rows, self.op_name, self.sig
         )
@@ -135,6 +140,7 @@ class ExecutableOp:
 
     def _scalar_mean(self):
         column = self.req.column
+        partials = self.req.partials
 
         def kernel(sl, need):
             v = self.table[column][sl]
@@ -146,6 +152,8 @@ class ExecutableOp:
         def reduce(parts):
             n = sum(p[0] for p in parts)
             s = sum(p[1] for p in parts)
+            if partials:
+                return [int(n), float(s)]
             return s / n if n else float("nan")
 
         return kernel, reduce
@@ -180,6 +188,7 @@ class ExecutableOp:
 
     def _group_mean(self):
         keys, n_groups, column = self._keys, self._n_groups, self.req.column
+        partials = self.req.partials
 
         def kernel(sl, need):
             m = self._mask(sl) if need else None
@@ -193,6 +202,8 @@ class ExecutableOp:
             for c, s in parts:
                 counts += c
                 sums += s
+            if partials:
+                return {"count": counts, "sum": sums}
             with np.errstate(invalid="ignore", divide="ignore"):
                 return np.where(counts > 0, sums / counts, np.nan)
 
@@ -200,6 +211,7 @@ class ExecutableOp:
 
     def _group_stats(self):
         keys, n_groups, column = self._keys, self._n_groups, self.req.column
+        partials = self.req.partials
 
         def kernel(sl, need):
             k = keys[sl]
@@ -216,12 +228,43 @@ class ExecutableOp:
             else:
                 k = np.zeros(0, dtype=np.int64)
                 v = np.zeros(0)
-            return {
-                "min": group_min(k, v, n_groups),
-                "max": group_max(k, v, n_groups),
-                "mean": group_mean(k, v, n_groups),
-                "median": group_median(k, v, n_groups),
-            }
+            if partials:
+                # Compacted passing pairs, in row order: the shard-side
+                # half of the stats reduce.  The router concatenates
+                # shard parts in shard order (= global row order) and
+                # runs group_stats_dict once, exactly like a local run.
+                # The values dtype rides along because the stats kernels'
+                # empty-group sentinels (iinfo min/max) depend on it — a
+                # JSON round-trip must not silently widen int32 to int64.
+                return {"keys": k, "values": v, "dtype": v.dtype.name}
+            return group_stats_dict(k, v, n_groups)
+
+        return kernel, reduce
+
+    def _group_top(self):
+        keys, n_groups = self._keys, self._n_groups
+        k_top = int(self.req.k)
+        partials = self.req.partials
+
+        def kernel(sl, need):
+            m = self._mask(sl) if need else None
+            return group_count(keys[sl], n_groups, m)
+
+        def reduce(parts):
+            counts = (
+                np.sum(parts, axis=0)
+                if parts
+                else np.zeros(n_groups, dtype=np.int64)
+            )
+            counts = np.asarray(counts, dtype=np.int64)
+            if partials:
+                # Sparse over-fetch: every nonzero group, not just the
+                # local top-k — a group outside one shard's top-k can
+                # still make the global top-k, so exact merging needs
+                # the full nonzero support (usually tiny vs dense).
+                nz = np.flatnonzero(counts)
+                return {"keys": nz.astype(np.int64), "counts": counts[nz]}
+            return topk_from_counts(counts, k_top)
 
         return kernel, reduce
 

@@ -23,6 +23,8 @@ import random
 import socket
 import time
 
+from repro.serve.protocol import PROTOCOL_VERSION, RETRYABLE_CODES
+
 __all__ = ["ServeClient", "next_backoff"]
 
 
@@ -73,6 +75,22 @@ class ServeClient:
     def ping(self) -> bool:
         return self.call({"kind": "ping"}).get("pong", False)
 
+    def hello(self, version: int = PROTOCOL_VERSION) -> dict:
+        """Negotiate the protocol version and capability set.
+
+        Optional — a v1 server (no ``hello`` verb) replies with an
+        ``unknown kind`` error, which this method maps to the implied
+        v1 contract instead of raising.
+        """
+        resp = self.call({"kind": "hello", "version": int(version)})
+        if resp.get("status") != "ok":
+            return {"status": "ok", "version": 1, "capabilities": []}
+        return resp
+
+    def meta(self) -> dict:
+        """The server's store metadata (fingerprint, tables, groups)."""
+        return self.call({"kind": "meta"}).get("meta", {})
+
     def stats(self) -> dict:
         """The server's service profile (config + live counters)."""
         return self.call({"kind": "stats"}).get("profile", {})
@@ -87,6 +105,8 @@ class ServeClient:
         time_range: tuple[int, int] | None = None,
         priority: int = 1,
         deadline_s: float | None = None,
+        k: int | None = None,
+        partials: bool = False,
         retries: int = 0,
         max_backoff_s: float = 5.0,
         retry_budget_s: float = 30.0,
@@ -116,6 +136,10 @@ class ServeClient:
             obj["priority"] = priority
         if deadline_s is not None:
             obj["deadline_s"] = deadline_s
+        if k is not None:
+            obj["k"] = int(k)
+        if partials:
+            obj["partials"] = True
         if self.client_id is not None:
             obj["client_id"] = self.client_id
         budget = retry_budget_s
@@ -125,6 +149,9 @@ class ServeClient:
             obj["id"] = f"c{self._seq}"
             resp = self.call(obj)
             if resp.get("status") != "shed" or attempt == retries:
+                return resp
+            reason = resp.get("reason")
+            if reason is not None and reason not in RETRYABLE_CODES:
                 return resp
             hint = float(resp.get("retry_after_s") or 0.05)
             wait = next_backoff(hint, prev_wait or hint, max_backoff_s, self._rng)

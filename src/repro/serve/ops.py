@@ -135,9 +135,14 @@ class OpsServer:
     # JSON-encoded by the handler.
 
     def _refresh_gauges(self) -> None:
-        if self.service is not None:
-            self.service.slo.update_gauges()
-            _metrics.gauge("serve_queue_depth").set(self.service.admission.depth())
+        # Duck-typed: a ShardRouter exposes health()/stats()/breakers but
+        # has no admission queue or SLO tracker of its own.
+        slo = getattr(self.service, "slo", None)
+        if slo is not None:
+            slo.update_gauges()
+        admission = getattr(self.service, "admission", None)
+        if admission is not None:
+            _metrics.gauge("serve_queue_depth").set(admission.depth())
 
     def _metrics(self, query) -> tuple[int, str, str]:
         self._refresh_gauges()
@@ -147,14 +152,17 @@ class OpsServer:
         body: dict = {"status": "ok", "uptime_s": round(self.uptime_s(), 3)}
         if self.service is not None:
             health = self.service.health()
-            slo_ok = health["slo_ok"]
+            slo_ok = health.get("slo_ok", True)
             body.update(
                 status="ok" if slo_ok else "degraded",
                 slo_ok=slo_ok,
-                slo=health["slo"],
-                draining=health["draining"],
-                dead_workers=health["dead_workers"],
+                draining=health.get("draining", False),
+                dead_workers=health.get("dead_workers", 0),
             )
+            if "slo" in health:
+                body["slo"] = health["slo"]
+            if "shards" in health:
+                body["shards"] = health["shards"]
         return 200, None, body
 
     def _readyz(self, query) -> tuple[int, None, dict]:
@@ -168,9 +176,9 @@ class OpsServer:
             # Informational: a reloading server still serves (the old
             # generation stays pinned) — reported, not a 503.
             "reloading": health.get("reloading", False),
-            "queue_depth": health["queue_depth"],
-            "max_queue": health["max_queue"],
-            "dead_workers": health["dead_workers"],
+            "queue_depth": health.get("queue_depth", 0),
+            "max_queue": health.get("max_queue", 0),
+            "dead_workers": health.get("dead_workers", 0),
         }
 
     def _varz(self, query) -> tuple[int, None, dict]:
@@ -182,18 +190,28 @@ class OpsServer:
         }
         if self.service is not None:
             stats = self.service.stats()
-            cache_probes = stats["cache_hits"] + stats["scans"]
-            body.update(
-                service=stats,
-                cache_hit_ratio=round(stats["cache_hits"] / cache_probes, 4)
-                if cache_probes
-                else 0.0,
-                token_buckets=self.service.admission.bucket_states(),
-                slo=self.service.slo.snapshot(),
-                breakers=self.service.breakers.states(),
-            )
-            if self.service.lifecycle is not None:
+            body["service"] = stats
+            if "cache_hits" in stats and "scans" in stats:
+                cache_probes = stats["cache_hits"] + stats["scans"]
+                body["cache_hit_ratio"] = (
+                    round(stats["cache_hits"] / cache_probes, 4)
+                    if cache_probes
+                    else 0.0
+                )
+            admission = getattr(self.service, "admission", None)
+            if admission is not None:
+                body["token_buckets"] = admission.bucket_states()
+            slo = getattr(self.service, "slo", None)
+            if slo is not None:
+                body["slo"] = slo.snapshot()
+            breakers = getattr(self.service, "breakers", None)
+            if breakers is not None:
+                body["breakers"] = breakers.states()
+            if getattr(self.service, "lifecycle", None) is not None:
                 body["lifecycle"] = self.service.lifecycle.snapshot()
+            shards = getattr(self.service, "shard_states", None)
+            if shards is not None:
+                body["shards"] = shards()
         try:
             from repro.engine.planner import result_cache
 

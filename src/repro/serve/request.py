@@ -27,10 +27,12 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.engine.expr import Expr, parse_predicate
+from repro.serve.protocol import ErrorCode
 
 __all__ = [
     "OPS",
     "GROUP_OPS",
+    "ErrorCode",
     "QueryRequest",
     "QueryResponse",
     "request_from_wire",
@@ -39,7 +41,7 @@ __all__ = [
 #: Scalar terminal operations the service executes.
 OPS = ("count", "sum", "mean")
 #: Grouped terminal operations (require ``group_by``).
-GROUP_OPS = ("count", "sum", "mean", "stats")
+GROUP_OPS = ("count", "sum", "mean", "stats", "top")
 
 #: Fallback ids for requests submitted without one.
 _REQ_SEQ = itertools.count(1)
@@ -65,6 +67,13 @@ class QueryRequest:
     client_id: str = "local"
     priority: int = 1
     deadline_s: float | None = None
+    #: ``top`` terminal only: how many groups to keep.
+    k: int | None = None
+    #: Protocol v2: return the op's *mergeable partial* instead of the
+    #: final value (mean -> [n, sum]; group mean -> {count, sum};
+    #: group stats -> compacted {keys, values}; top -> sparse nonzero
+    #: {keys, counts}).  What a scatter-gather router asks shards for.
+    partials: bool = False
     id: str = field(default_factory=lambda: f"r{next(_REQ_SEQ)}")
 
     def validate(self) -> None:
@@ -85,6 +94,11 @@ class QueryRequest:
             raise ValueError(f"op {self.op!r} requires a column")
         if not needs_column and self.column:
             raise ValueError(f"op {self.op!r} takes no column")
+        if self.op == "top":
+            if self.k is None or int(self.k) < 1:
+                raise ValueError("op 'top' requires k >= 1")
+        elif self.k is not None:
+            raise ValueError(f"op {self.op!r} takes no k")
         if self.time_range is not None:
             lo, hi = self.time_range
             if hi < lo:
@@ -113,22 +127,29 @@ class QueryResponse:
     retry_after_s: float | None = None
     error: str | None = None
     stats: dict = field(default_factory=dict)
+    #: Router only: shard ids whose data is absent from a ``partial``
+    #: (or ``error``) response.
+    missing: list | None = None
 
     @property
     def ok(self) -> bool:
-        return self.status == "ok"
+        """True for any response carrying a usable value — including a
+        router's ``partial`` (degraded but answered) responses."""
+        return self.status in ("ok", "partial")
 
     def to_wire(self) -> dict:
         """JSON-safe dict form (numpy values listified)."""
         out: dict = {"id": self.id, "status": self.status}
-        if self.status == "ok":
+        if self.status in ("ok", "partial"):
             out["value"] = _jsonable(self.value)
         if self.reason is not None:
-            out["reason"] = self.reason
+            out["reason"] = str(getattr(self.reason, "value", self.reason))
         if self.retry_after_s is not None:
             out["retry_after_s"] = round(float(self.retry_after_s), 6)
         if self.error is not None:
             out["error"] = self.error
+        if self.missing is not None:
+            out["missing_shards"] = list(self.missing)
         if self.stats:
             out["stats"] = {k: _jsonable(v) for k, v in self.stats.items()}
         return out
@@ -180,6 +201,8 @@ def request_from_wire(obj: dict, client_id: str = "remote") -> QueryRequest:
         deadline_s=(
             float(obj["deadline_s"]) if obj.get("deadline_s") is not None else None
         ),
+        k=(int(obj["k"]) if obj.get("k") is not None else None),
+        partials=bool(obj.get("partials", False)),
     )
     if obj.get("id") is not None:
         req.id = str(obj["id"])

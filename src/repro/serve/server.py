@@ -30,6 +30,7 @@ import logging
 import socket
 import threading
 
+from repro.serve.protocol import CAPABILITIES, PROTOCOL_VERSION, negotiate_hello
 from repro.serve.request import request_from_wire
 from repro.serve.service import QueryService
 
@@ -117,6 +118,16 @@ class ServeServer:
         kind = obj.get("kind", "query") if isinstance(obj, dict) else "query"
         if kind == "ping":
             return {"status": "ok", "pong": True}
+        if kind == "hello":
+            return negotiate_hello(
+                obj, getattr(self.service, "capabilities", CAPABILITIES)
+            )
+        if kind == "meta":
+            return {
+                "status": "ok",
+                "version": PROTOCOL_VERSION,
+                "meta": self.service.meta(),
+            }
         if kind == "stats":
             return {"status": "ok", "profile": self.service.profile()}
         if kind != "query":

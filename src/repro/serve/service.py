@@ -56,6 +56,7 @@ from repro.serve.admission import AdmissionController
 from repro.serve.batcher import BatchItem, ExecutableOp, compile_request, execute_batch
 from repro.serve.breaker import BreakerBoard
 from repro.serve.lifecycle import StoreLease, StoreLifecycle
+from repro.serve.protocol import CAPABILITIES, ErrorCode, store_meta
 from repro.serve.request import QueryRequest, QueryResponse
 
 __all__ = ["PendingRequest", "QueryService"]
@@ -67,7 +68,9 @@ _LATENCY_WINDOW = 4096
 
 #: Shed reasons the admission controller itself accounts (its metrics
 #: already count them; the service must not count them twice).
-_ADMISSION_REASONS = frozenset({"RATE_LIMITED", "QUEUE_FULL", "RETRY_AFTER"})
+_ADMISSION_REASONS = frozenset(
+    {ErrorCode.RATE_LIMITED, ErrorCode.QUEUE_FULL, ErrorCode.RETRY_AFTER}
+)
 
 #: Chaos sentinel: a worker that dequeues this exits as if it crashed.
 _KILL = object()
@@ -252,7 +255,7 @@ class QueryService:
         pending = PendingRequest(request)
         self._count("submitted")
         if self._closed:
-            self._shed(pending, "SHUTTING_DOWN", 1.0)
+            self._shed(pending, ErrorCode.SHUTTING_DOWN, 1.0)
             return pending
         try:
             request.validate()
@@ -263,7 +266,7 @@ class QueryService:
             request.deadline_s = self.default_deadline_s
         allowed, breaker_retry = self.breakers.allow("execute")
         if not allowed:
-            self._shed(pending, "CIRCUIT_OPEN", breaker_retry)
+            self._shed(pending, ErrorCode.CIRCUIT_OPEN, breaker_retry)
             return pending
         rejected = self.admission.offer(
             pending, request.client_id, request.priority, request.deadline_s
@@ -485,6 +488,14 @@ class QueryService:
             if hit is not None:
                 item.value = hit
                 item.extra["cache"] = "hit"
+                # Plan anyway (zone-map arithmetic, no scan): the local
+                # query surface plans before probing this same cache, so
+                # remote clients get identical plan accounting on hits.
+                try:
+                    item.plan = item.op.plan(executor, prune=self.prune)
+                    item.rows_planned = item.plan.rows_planned
+                except Exception:
+                    pass
                 self._count("cache_hits")
                 _metrics.counter("serve_cache_hits_total").inc()
             else:
@@ -546,6 +557,17 @@ class QueryService:
                 "rows_planned": item.rows_planned,
                 "store_gen": lease.generation if lease is not None else 0,
             }
+            if item.plan is not None:
+                # Plan accounting for remote clients: lets a RemoteStore
+                # reconstruct the pruning story a local QueryResult
+                # carries on its Plan.
+                stats.update(
+                    pruning=item.plan.pruning,
+                    chunks_total=item.plan.n_chunks_total,
+                    chunks_pruned=item.plan.n_chunks_pruned,
+                    chunks_full=item.plan.n_chunks_full,
+                    rows_total=item.plan.rows_total,
+                )
             for i, waiter in enumerate(waiters):
                 value = item.value if i == 0 else _copy_value(item.value)
                 self._resolve_ok(waiter, value, dict(stats, deduped=i > 0), now)
@@ -573,7 +595,7 @@ class QueryService:
         self._count("deadline_cancelled")
         _metrics.counter("serve_deadline_cancelled_total").inc()
         self._shed(
-            pending, "DEADLINE_EXCEEDED",
+            pending, ErrorCode.DEADLINE_EXCEEDED,
             max(self.admission.ewma_service_s, 0.001),
         )
 
@@ -676,6 +698,20 @@ class QueryService:
             "slo": self.slo.snapshot(),
         }
 
+    #: Protocol capabilities this service's front ends advertise in the
+    #: hello handshake.
+    capabilities = CAPABILITIES
+
+    def meta(self) -> dict:
+        """Backend self-description for the wire ``meta`` verb.
+
+        The shard router calls this (via :class:`ServeServer`) on every
+        backend to derive its shard map: row counts, zone-map column
+        bounds, and group cardinalities of the store generation
+        currently being served.
+        """
+        return store_meta(self.store)
+
     def profile(self) -> dict:
         """The service profile: stats plus configuration, JSON-ready."""
         return {
@@ -718,7 +754,7 @@ class QueryService:
         for t in self._threads:
             t.join(timeout=5.0)
         for pending in self.admission.drain_all():
-            self._shed(pending, "SHUTTING_DOWN", 1.0)
+            self._shed(pending, ErrorCode.SHUTTING_DOWN, 1.0)
         self._resolve_abandoned_batches()
         for ex in self._executors:
             ex.close()
@@ -735,7 +771,7 @@ class QueryService:
             batch, lease = task
             for pending, op in batch:
                 for waiter in self._pop_flight(op.key, pending):
-                    self._shed(waiter, "SHUTTING_DOWN", 1.0)
+                    self._shed(waiter, ErrorCode.SHUTTING_DOWN, 1.0)
                     self.admission.done()
             if lease is not None:
                 lease.release()

@@ -1,0 +1,236 @@
+"""The router's shard map: backend metadata plus shard-level pruning.
+
+A :class:`ShardMap` is built from the ``meta`` self-description each
+backend serves (:func:`repro.serve.protocol.store_meta`): per-table row
+counts, zone-map column bounds aggregated to one interval per column,
+and group-key cardinalities.  Routing a query is then the planner's own
+chunk-pruning analysis run one level up — each backend is a single
+"chunk" whose statistics are its table-level bounds — so the same
+conservative interval reasoning that skips 64k-row chunks inside a
+store skips whole backends before any network hop.
+
+The data placement contract (established by ``repro-gdelt split``):
+
+* ``mentions`` is partitioned into contiguous capture-time row ranges
+  of the globally capture-sorted table — shard order IS global row
+  order, which is what makes order-sensitive merges (group stats)
+  byte-identical to a single-store run;
+* ``events`` and the string dictionaries are replicated, so any single
+  healthy shard can answer an events-table query exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.expr import Expr
+
+__all__ = ["ShardInfo", "ShardMap"]
+
+
+class ShardInfo:
+    """One backend's identity and self-description."""
+
+    __slots__ = ("shard_id", "address", "meta")
+
+    def __init__(self, shard_id: str, address: tuple[str, int], meta: dict) -> None:
+        self.shard_id = shard_id
+        self.address = address
+        self.meta = meta
+
+    def rows(self, table: str) -> int:
+        return int(self.meta.get("tables", {}).get(table, {}).get("rows", 0))
+
+    def columns(self, table: str) -> dict:
+        """Per-column ``{min, max, nulls}`` bounds (may be empty)."""
+        return self.meta.get("tables", {}).get(table, {}).get("columns", {})
+
+    def n_groups(self, table: str, alias: str) -> int | None:
+        entry = self.meta.get("groups", {}).get(table, {}).get(alias)
+        return None if entry is None else int(entry["n_groups"])
+
+    def __repr__(self) -> str:
+        host, port = self.address
+        return f"ShardInfo({self.shard_id!r}, {host}:{port})"
+
+
+class _ShardStatsView:
+    """Shards-as-chunks statistics for :meth:`Expr.prune_chunks`.
+
+    Index ``i`` of every returned array is shard ``i``.  A column any
+    shard cannot bound returns ``None`` — the analysis then treats the
+    predicate as unbounded, which is always sound (no shard is skipped
+    on its account).
+    """
+
+    __slots__ = ("_shards",)
+
+    def __init__(self, shards: "list[ShardInfo]") -> None:
+        self._shards = shards
+
+    def _gather(self, name: str, key: str, table: str = "mentions"):
+        out = np.empty(len(self._shards))
+        for i, shard in enumerate(self._shards):
+            bounds = shard.columns(table).get(name)
+            if bounds is None:
+                return None
+            v = bounds[key]
+            # None bounds mean an all-null column; NaN bounds make every
+            # range predicate prune the shard, exactly like an all-null
+            # chunk inside a store.
+            out[i] = np.nan if v is None else float(v)
+        return out
+
+    def min(self, name: str):
+        return self._gather(name, "min")
+
+    def max(self, name: str):
+        return self._gather(name, "max")
+
+    def nulls(self, name: str):
+        vals = self._gather(name, "nulls")
+        return None if vals is None else vals.astype(np.int64)
+
+
+class ShardMap:
+    """Every shard's metadata plus the routing/pruning logic over it."""
+
+    def __init__(self, shards: list[ShardInfo]) -> None:
+        if not shards:
+            raise ValueError("a shard map needs at least one shard")
+        self.shards = list(shards)
+
+    def __len__(self) -> int:
+        return len(self.shards)
+
+    def __iter__(self):
+        return iter(self.shards)
+
+    # -- global shapes -----------------------------------------------------
+
+    def global_rows(self, table: str) -> int:
+        """Total row count: summed for partitioned mentions, the max
+        (= any one replica) for replicated events."""
+        if table == "events":
+            return max((s.rows(table) for s in self.shards), default=0)
+        return sum(s.rows(table) for s in self.shards)
+
+    def global_n_groups(self, table: str, alias: str) -> int | None:
+        """Global group-key cardinality for a registered key.
+
+        The max over shards is exact: every row lives on some shard, and
+        a shard's local cardinality is the max key it holds plus one.
+        """
+        vals = [
+            n for s in self.shards if (n := s.n_groups(table, alias)) is not None
+        ]
+        return max(vals) if vals else None
+
+    def column_n_groups(self, table: str, column: str) -> int | None:
+        """Cardinality of a raw integer-column group key from the zone
+        bounds (mirrors :meth:`GdeltStore.group_key`'s fallback)."""
+        his = []
+        for s in self.shards:
+            bounds = s.columns(table).get(column)
+            if bounds is None or bounds.get("max") is None:
+                return None
+            his.append(int(bounds["max"]))
+        return max(his) + 1 if his else None
+
+    # -- routing -----------------------------------------------------------
+
+    def route(
+        self,
+        table: str,
+        where: Expr | None = None,
+        time_range: tuple[int, int] | None = None,
+    ) -> tuple[list[ShardInfo], list[tuple[ShardInfo, str]]]:
+        """Which shards can contain matching rows?
+
+        Returns ``(targets, skipped)`` where each skipped entry carries
+        its reason (``"empty"`` / ``"pruned"``).  Only the partitioned
+        mentions table is ever pruned; events queries should be routed
+        to a single replica instead (see
+        :meth:`ShardRouter.submit <repro.shard.router.ShardRouter>`).
+        """
+        live = [s for s in self.shards if s.rows(table) > 0]
+        skipped: list[tuple[ShardInfo, str]] = [
+            (s, "empty") for s in self.shards if s.rows(table) == 0
+        ]
+        if table != "mentions" or not live:
+            return live, skipped
+
+        keep = np.ones(len(live), dtype=bool)
+        if time_range is not None:
+            lo, hi = time_range
+            for i, shard in enumerate(live):
+                bounds = shard.columns(table).get("MentionInterval")
+                if bounds is None:
+                    continue
+                b_lo, b_hi = bounds.get("min"), bounds.get("max")
+                if b_lo is None or b_hi is None:
+                    continue  # all-null interval column: cannot bound
+                # Request interval [lo, hi) vs shard rows in [b_lo, b_hi].
+                if b_hi < lo or b_lo >= hi:
+                    keep[i] = False
+        if where is not None and keep.any():
+            pruned = where.prune_chunks(_ShardStatsView(live))
+            if pruned is not None:
+                keep &= pruned[0]
+
+        targets = [s for i, s in enumerate(live) if keep[i]]
+        skipped += [(s, "pruned") for i, s in enumerate(live) if not keep[i]]
+        return targets, skipped
+
+    # -- merged self-description -------------------------------------------
+
+    def merged_meta(self) -> dict:
+        """The router's own ``meta`` answer: the cluster as one store."""
+        tables: dict = {}
+        for table in ("events", "mentions"):
+            tables[table] = {
+                "rows": self.global_rows(table),
+                "columns": self._merged_bounds(table),
+            }
+        groups: dict = {}
+        for shard in self.shards:
+            for table, entries in shard.meta.get("groups", {}).items():
+                out = groups.setdefault(table, {})
+                for alias, entry in entries.items():
+                    known = out.get(alias)
+                    if known is None or entry["n_groups"] > known["n_groups"]:
+                        out[alias] = dict(entry)
+        return {
+            "fingerprint": "+".join(
+                str(s.meta.get("fingerprint", s.shard_id)) for s in self.shards
+            ),
+            "generation": sum(int(s.meta.get("generation", 0)) for s in self.shards),
+            "tables": tables,
+            "groups": groups,
+            "shards": [
+                {
+                    "id": s.shard_id,
+                    "address": list(s.address),
+                    "rows": {t: s.rows(t) for t in ("events", "mentions")},
+                }
+                for s in self.shards
+            ],
+        }
+
+    def _merged_bounds(self, table: str) -> dict:
+        out: dict = {}
+        for shard in self.shards:
+            for name, bounds in shard.columns(table).items():
+                known = out.get(name)
+                if known is None:
+                    out[name] = dict(bounds)
+                    continue
+                for key, pick in (("min", min), ("max", max)):
+                    a, b = known.get(key), bounds.get(key)
+                    known[key] = pick(a, b) if a is not None and b is not None else (
+                        a if b is None else b
+                    )
+                known["nulls"] = int(known.get("nulls", 0)) + int(
+                    bounds.get("nulls", 0)
+                )
+        return out

@@ -71,6 +71,16 @@ GUARDS: dict[str, tuple[Metric, ...]] = {
         Metric("partial.missing_shards", "lower", 0.0),
         Metric("routed.throughput_rps", "higher", 0.50),
     ),
+    "BENCH_views.json": (
+        # Byte-identity between view-served and rescanned values is an
+        # absolute contract; the speedup floor (5x) is asserted inside
+        # views_smoke.py, so the guard only flags erosion.
+        Metric("identical.mismatches", "lower", 0.0),
+        Metric("speedup", "higher", 0.50),
+        # Incremental refresh must keep costing ~the delta, not the
+        # dataset: the ratio of full-rebuild rows to delta rows scanned.
+        Metric("incremental.delta_rows_ratio", "higher", 0.50),
+    ),
     "BENCH_soak.json": (
         # The robustness invariants are absolute: any error or
         # cross-generation mix is a failure regardless of the baseline.
@@ -101,22 +111,38 @@ def _lookup(doc: dict, dotted: str):
 
 
 def _check_file(name: str, metrics: tuple[Metric, ...]) -> list[str]:
-    """Returns failure strings for one report; [] when clean or skipped."""
+    """Returns failure strings for one report; [] when clean or skipped.
+
+    A missing *fresh* report is a skip — each CI job runs one smoke and
+    regress checks whatever landed in ``out/``.  A missing *baseline*
+    (file or metric) for a report that DID run is a hard failure: a
+    guard that silently stops comparing is indistinguishable from a
+    guard that passes.
+    """
     fresh_path = OUT_DIR / name
     base_path = BASELINE_DIR / name
     if not fresh_path.exists():
         print(f"  {name}: no fresh report, skipped")
         return []
     if not base_path.exists():
-        print(f"  {name}: no baseline committed, skipped")
-        return []
+        return [
+            f"{name}: fresh report exists but no baseline is committed at "
+            f"{base_path}; run "
+            f"'PYTHONPATH=src python benchmarks/regress.py --write-baselines' "
+            f"and commit the result"
+        ]
     fresh = json.loads(fresh_path.read_text())
     base = json.loads(base_path.read_text())
     failures: list[str] = []
     for m in metrics:
         bv, fv = _lookup(base, m.path), _lookup(fresh, m.path)
         if bv is None:
-            print(f"  {name}:{m.path}: not in baseline, skipped")
+            failures.append(
+                f"{name}:{m.path}: guarded metric missing from the committed "
+                f"baseline {base_path}; re-promote it with "
+                f"'PYTHONPATH=src python benchmarks/regress.py "
+                f"--write-baselines' and commit the result"
+            )
             continue
         if fv is None:
             failures.append(f"{name}:{m.path}: present in baseline but missing "

@@ -14,6 +14,9 @@ The future-work Python interface the paper promises, as a CLI::
     repro-gdelt bench-serve db/ --clients 32             # serving benchmark
     repro-gdelt split db/ shards/ --shards 4             # partition for sharding
     repro-gdelt shard-serve shards/shard* --port 7411    # scatter-gather router
+    repro-gdelt view create views/ delayed --where "Delay > 96"  # register a view
+    repro-gdelt view refresh views/ db/                  # incremental maintenance
+    repro-gdelt serve db/ --views views/                 # serve + subscriptions
 
 Progress reporting goes through stdlib ``logging`` to stderr (``-v``
 for debug detail, ``-q`` for warnings only); stdout carries only the
@@ -233,6 +236,12 @@ def build_parser() -> argparse.ArgumentParser:
         "(archive md5s with --follow, dataset CRC32s without)",
     )
     sv.add_argument(
+        "--views", type=Path, default=None, metavar="DIR",
+        help="serve materialized views from this catalog directory "
+        "(created if missing); a background refresher keeps them fresh "
+        "on every publication and the subscribe verb pushes updates",
+    )
+    sv.add_argument(
         "--slo-latency", type=float, default=0.5,
         help="latency SLO threshold in seconds (default 0.5)",
     )
@@ -303,6 +312,53 @@ def build_parser() -> argparse.ArgumentParser:
         "--ops-port", type=int, default=None,
         help="also serve the router's HTTP ops plane on this port; "
         "enables observability; 0 picks an ephemeral port",
+    )
+
+    vw = sub.add_parser(
+        "view",
+        help="manage materialized views (create/list/drop/refresh)",
+    )
+    vsub = vw.add_subparsers(dest="view_command", required=True)
+
+    vc = vsub.add_parser("create", help="register a view in a catalog")
+    vc.add_argument("views_dir", type=Path, help="catalog directory")
+    vc.add_argument("name", help="view name (letters, digits, _-. only)")
+    vc.add_argument("--table", choices=["events", "mentions"], default="mentions")
+    vc.add_argument(
+        "--op", default="count",
+        choices=["count", "sum", "mean", "stats", "top"],
+        help="terminal operation (stats/top need --group-by)",
+    )
+    vc.add_argument(
+        "--where", action="append", default=[], metavar="PRED",
+        help='textual predicate conjunct, e.g. "Delay > 96" (repeatable, ANDed)',
+    )
+    vc.add_argument("--column", default=None, help="column for sum/mean/stats")
+    vc.add_argument("--group-by", default=None, help="group-key name")
+    vc.add_argument(
+        "-k", type=int, default=None, help="top views: groups to keep"
+    )
+    vc.add_argument(
+        "--dataset", type=Path, default=None,
+        help="also refresh the new view against this dataset now",
+    )
+
+    vl = vsub.add_parser("list", help="list a catalog's views and freshness")
+    vl.add_argument("views_dir", type=Path)
+    vl.add_argument("--json", action="store_true", help="emit JSON")
+
+    vd = vsub.add_parser("drop", help="remove a view and its state")
+    vd.add_argument("views_dir", type=Path)
+    vd.add_argument("name")
+
+    vr = vsub.add_parser("refresh", help="refresh views against a dataset")
+    vr.add_argument("views_dir", type=Path)
+    vr.add_argument("dataset", type=Path)
+    vr.add_argument("--name", default=None, help="refresh only this view")
+    vr.add_argument(
+        "--full", action="store_true",
+        help="rebuild from row zero instead of trusting the append-only "
+        "prefix (required when the dataset was rewritten in place)",
     )
     return p
 
@@ -607,6 +663,15 @@ def _cmd_serve(args) -> int:
             latency_threshold_s=args.slo_latency, target=args.slo_target
         )
     )
+    views = refresher = None
+    if args.views is not None:
+        from repro.views import ViewCatalog, ViewRefresher
+
+        views = ViewCatalog(args.views)
+        refresher = ViewRefresher(views, lifecycle).start(initial=True)
+        logger.info(
+            "view catalog %s: %d view(s)", args.views, len(views)
+        )
     service = QueryService(
         workers=args.workers,
         scan_threads=args.scan_threads,
@@ -617,6 +682,7 @@ def _cmd_serve(args) -> int:
         slo=slo,
         lifecycle=lifecycle,
         breakers=breakers,
+        views=views,
     )
     server = ServeServer(service, host=args.host, port=args.port)
     ops = None
@@ -655,6 +721,8 @@ def _cmd_serve(args) -> int:
         service.close(drain=True)
         if ops is not None:
             ops.close()
+        if refresher is not None:
+            refresher.stop()
         lifecycle.close()
         stats = service.stats()
         logger.info(
@@ -663,6 +731,86 @@ def _cmd_serve(args) -> int:
             stats["scans"],
         )
     return 0
+
+
+def _cmd_view(args) -> int:
+    from repro.views import ViewCatalog, ViewDefinition, ViewError
+
+    catalog = ViewCatalog(args.views_dir)
+
+    def _open(dataset):
+        from repro.engine import GdeltStore
+
+        return GdeltStore.open(dataset)
+
+    try:
+        if args.view_command == "create":
+            defn = ViewDefinition(
+                name=args.name,
+                table=args.table,
+                op=args.op,
+                where=tuple(args.where),
+                column=args.column,
+                group_by=args.group_by,
+                k=args.k,
+            )
+            catalog.create(defn)
+            print(f"created view {defn.name}: {defn.describe()}")
+            if args.dataset is not None:
+                result = catalog.refresh(_open(args.dataset), name=defn.name)
+                info = result[defn.name]
+                if info["error"]:
+                    logger.error("initial refresh failed: %s", info["error"])
+                    return 1
+                print(
+                    f"refreshed: {info['rows']:,} rows in {info['elapsed_s']:.3f}s"
+                )
+            return 0
+        if args.view_command == "list":
+            snap = catalog.snapshot()
+            if args.json:
+                print(json.dumps(snap, indent=2))
+                return 0
+            if not snap["views"]:
+                print("no views")
+                return 0
+            for name, view in snap["views"].items():
+                fresh = (
+                    f"rows {view['rows']:,}, refreshed {view['refresh_count']}x"
+                    if view["refresh_count"]
+                    else "never refreshed"
+                )
+                extra = f" [ERROR: {view['last_error']}]" if view["last_error"] else ""
+                retracted = " [retracted]" if view["retracted"] else ""
+                print(f"{name}: {view['terminal']} ({fresh}){retracted}{extra}")
+            return 0
+        if args.view_command == "drop":
+            catalog.drop(args.name)
+            print(f"dropped view {args.name}")
+            return 0
+        if args.view_command == "refresh":
+            store = _open(args.dataset)
+            summary = catalog.refresh(
+                store, name=args.name, assume_prefix=not args.full
+            )
+            failed = 0
+            for name, info in sorted(summary.items()):
+                if info["error"]:
+                    failed += 1
+                    print(f"{name}: FAILED ({info['error']})")
+                else:
+                    mode = "rebuilt" if info["rebuilt"] else (
+                        f"+{info['delta_rows']:,} rows"
+                    )
+                    print(
+                        f"{name}: {info['rows']:,} rows ({mode}) "
+                        f"in {info['elapsed_s']:.3f}s"
+                    )
+            return 1 if failed else 0
+    except (ViewError, ValueError) as exc:
+        logger.error("%s", exc)
+        return 2
+    raise AssertionError(f"unhandled view command {args.view_command!r}")
 
 
 def _cmd_split(args) -> int:
@@ -836,6 +984,7 @@ def main(argv: list[str] | None = None) -> int:
         "bench-serve": _cmd_bench_serve,
         "split": _cmd_split,
         "shard-serve": _cmd_shard_serve,
+        "view": _cmd_view,
     }
     rc = handlers[args.command](args)
     if metrics_out is not None and rc == 0:

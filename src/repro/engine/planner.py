@@ -88,6 +88,9 @@ class Plan:
     cache_key: tuple | None = None
     #: "off" | "miss" | "hit" — filled in by the terminal that runs the plan.
     cache_status: str = "off"
+    #: "scan" | "view" — where the value came from.  "view" means a fresh
+    #: materialized view answered without running the scan units.
+    source: str = "scan"
 
     @property
     def rows_planned(self) -> int:
@@ -124,6 +127,8 @@ class Plan:
         lines.append(f"  dispatch {len(self.units)} morsel(s)")
         if self.cache_key is not None:
             lines.append(f"  result cache: {self.cache_status}")
+        if self.source != "scan":
+            lines.append(f"  source: {self.source}")
         return "\n".join(lines)
 
 

@@ -13,9 +13,7 @@ results land in an LRU cache keyed by the canonicalized filter.  The
 preferred entry point is :meth:`GdeltStore.query`, whose terminals
 return :class:`QueryResult` (value + profile + plan); constructing
 ``Query`` directly returns bare values for backward compatibility.
-Grouped aggregation is spelled ``q.group_by("Quarter").count()`` — the
-old positional ``groupby_*(keys, n_groups)`` methods survive as
-deprecated shims.
+Grouped aggregation is spelled ``q.group_by("Quarter").count()``.
 
 :func:`aggregated_country_query` is the paper's Section VI-G workload:
 one pass over the mentions table that simultaneously produces the inputs
@@ -27,7 +25,6 @@ so it supports chunked parallel execution.
 from __future__ import annotations
 
 import time
-import warnings
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -540,37 +537,6 @@ class Query:
             return topk_from_counts(np.asarray(counts, dtype=np.int64), k_top)
 
         return self._run("groupby_top", kernel_for, reduce, sig=sig)
-
-    # -- deprecated positional group-by API ----------------------------------
-
-    def _deprecated(self, old: str, new: str) -> None:
-        warnings.warn(
-            f"Query.{old} is deprecated; use Query.group_by(name).{new} "
-            "(see docs/query-api.md)",
-            DeprecationWarning,
-            stacklevel=3,
-        )
-
-    def groupby_count(self, keys: np.ndarray, n_groups: int):
-        """Deprecated: use ``group_by(name).count()``.
-
-        ``keys`` is indexed in *table* coordinates (one key per table
-        row), so precomputed derived columns slot in directly.  Raw-array
-        keys cannot be fingerprinted, so these shims bypass the result
-        cache.
-        """
-        self._deprecated("groupby_count(keys, n_groups)", "count()")
-        return self._grouped_count(keys, n_groups, sig=None)
-
-    def groupby_sum(self, keys: np.ndarray, column: str, n_groups: int):
-        """Deprecated: use ``group_by(name).sum(column)``."""
-        self._deprecated("groupby_sum(keys, column, n_groups)", "sum(column)")
-        return self._grouped_sum(keys, column, n_groups, sig=None)
-
-    def groupby_stats(self, keys: np.ndarray, column: str, n_groups: int):
-        """Deprecated: use ``group_by(name).stats(column)``."""
-        self._deprecated("groupby_stats(keys, column, n_groups)", "stats(column)")
-        return self._grouped_stats(keys, column, n_groups, sig=None)
 
 
 class GroupedQuery:

@@ -30,7 +30,7 @@ from repro.serve.batcher import (
     execute_batch,
 )
 from repro.serve.breaker import BreakerBoard, CircuitBreaker
-from repro.serve.client import ServeClient, next_backoff
+from repro.serve.client import ServeClient, ViewSubscription, next_backoff
 from repro.serve.lifecycle import (
     LifecycleError,
     ReloadResult,
@@ -94,6 +94,7 @@ __all__ = [
     "StoreLease",
     "StoreLifecycle",
     "TokenBucket",
+    "ViewSubscription",
     "compile_request",
     "connect",
     "execute_batch",

@@ -19,13 +19,15 @@ Usage::
 from __future__ import annotations
 
 import json
+import queue
 import random
 import socket
+import threading
 import time
 
 from repro.serve.protocol import PROTOCOL_VERSION, RETRYABLE_CODES
 
-__all__ = ["ServeClient", "next_backoff"]
+__all__ = ["ServeClient", "ViewSubscription", "next_backoff"]
 
 
 def next_backoff(
@@ -57,6 +59,7 @@ class ServeClient:
         rng: random.Random | None = None,
     ) -> None:
         self.client_id = client_id
+        self._host, self._port = host, int(port)
         self._rng = rng if rng is not None else random.Random()
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._reader = self._sock.makefile("rb")
@@ -162,6 +165,15 @@ class ServeClient:
             time.sleep(wait)
         return resp
 
+    def subscribe(self, views: list[str], **kw) -> "ViewSubscription":
+        """Open a view subscription to this client's endpoint.
+
+        Subscriptions live on their *own* connection (this client stays
+        free for request/response traffic — pushed frames would desync
+        its blocking :meth:`call` loop).
+        """
+        return ViewSubscription(self._host, self._port, views, **kw)
+
     # -- lifecycle ---------------------------------------------------------
 
     def close(self) -> None:
@@ -175,6 +187,170 @@ class ServeClient:
             pass
 
     def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class ViewSubscription:
+    """A live feed of materialized-view updates from one server.
+
+    Runs a background reader on a dedicated connection: it subscribes,
+    queues every ``view_update`` frame, and on a broken connection
+    redials with decorrelated-jitter backoff and **resubscribes** — the
+    server replays each view's current value on subscribe, so the feed
+    resumes at the latest state no matter how many updates the outage
+    swallowed.  Replayed frames the subscriber already saw (same or
+    older per-view ``seq``) are dropped, so consumers never observe
+    time going backwards.
+
+    Usage::
+
+        with ViewSubscription(host, port, ["delay-hist"]) as sub:
+            while True:
+                event = sub.get(timeout=5.0)
+                if event is not None:
+                    print(event["view"], event["value"])
+
+    A subscribe rejected by the server (unknown view, no catalog) stops
+    the feed: :meth:`get` raises ``ConnectionError`` with the server's
+    message instead of silently retrying a request that can never
+    succeed.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        views: list[str],
+        connect_timeout_s: float = 10.0,
+        max_backoff_s: float = 2.0,
+        rng: random.Random | None = None,
+    ) -> None:
+        self.views = [str(v) for v in views]
+        self._host, self._port = host, int(port)
+        self._connect_timeout_s = connect_timeout_s
+        self._max_backoff_s = max_backoff_s
+        self._rng = rng if rng is not None else random.Random()
+        self._events: "queue.Queue" = queue.Queue()
+        self._stop = threading.Event()
+        self._sock: socket.socket | None = None
+        self._last_seq: dict[str, int] = {}
+        self._fatal: str | None = None
+        #: Completed redials (observable reconnect accounting for tests).
+        self.reconnects = 0
+        #: Server-side coalesced updates this subscriber skipped.
+        self.coalesced = 0
+        self._thread = threading.Thread(
+            target=self._run, name=f"view-sub-{port}", daemon=True
+        )
+        self._thread.start()
+
+    def get(self, timeout: float | None = None) -> dict | None:
+        """Next update frame, or ``None`` if ``timeout`` elapses.
+
+        Raises:
+            ConnectionError: the subscription failed permanently (the
+                server rejected it, or :meth:`close` was called and the
+                queue is drained).
+        """
+        while True:
+            try:
+                event = self._events.get(timeout=timeout)
+            except queue.Empty:
+                if self._fatal is not None:
+                    raise ConnectionError(self._fatal)
+                return None
+            if event is not None:
+                return event
+            # None is the reader's "I stopped" sentinel.
+            if self._fatal is not None:
+                raise ConnectionError(self._fatal)
+            return None
+
+    # -- reader ------------------------------------------------------------
+
+    def _run(self) -> None:
+        prev_wait = 0.0
+        first = True
+        while not self._stop.is_set():
+            try:
+                self._connect_and_read(first_attempt=first)
+            except (OSError, ValueError, ConnectionError):
+                pass
+            finally:
+                self._close_sock()
+            if self._stop.is_set() or self._fatal is not None:
+                break
+            first = False
+            wait = next_backoff(0.05, prev_wait or 0.05, self._max_backoff_s,
+                                self._rng)
+            prev_wait = wait
+            if self._stop.wait(wait):
+                break
+            self.reconnects += 1
+        self._events.put(None)
+
+    def _connect_and_read(self, first_attempt: bool) -> None:
+        sock = socket.create_connection(
+            (self._host, self._port), timeout=self._connect_timeout_s
+        )
+        self._sock = sock
+        reader = sock.makefile("rb")
+        sock.sendall(
+            json.dumps({"kind": "subscribe", "views": self.views}).encode() + b"\n"
+        )
+        reply = json.loads(reader.readline() or b"{}")
+        if reply.get("status") != "ok":
+            # Only a *first-attempt* rejection is authoritative: after a
+            # reconnect the server may still be starting up, so keep
+            # retrying unless it explicitly rejected the view set.
+            message = reply.get("error", "subscribe failed")
+            if first_attempt or reply.get("code") == "BAD_REQUEST":
+                self._fatal = f"subscribe rejected: {message}"
+            raise ConnectionError(message)
+        # Pushed frames arrive without further requests; read until the
+        # connection drops or close() shuts the socket down.
+        sock.settimeout(None)
+        for raw in reader:
+            if self._stop.is_set():
+                return
+            try:
+                frame = json.loads(raw)
+            except ValueError:
+                continue
+            if not isinstance(frame, dict) or frame.get("kind") != "view_update":
+                continue
+            view = str(frame.get("view"))
+            seq = int(frame.get("seq", 0))
+            self.coalesced += int(frame.get("coalesced", 0))
+            if seq <= self._last_seq.get(view, -1):
+                continue  # replay of a frame this subscriber already saw
+            self._last_seq[view] = seq
+            self._events.put(frame)
+
+    def _close_sock(self) -> None:
+        sock, self._sock = self._sock, None
+        if sock is None:
+            return
+        try:
+            sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        self._stop.set()
+        self._close_sock()
+        self._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "ViewSubscription":
         return self
 
     def __exit__(self, *exc) -> None:

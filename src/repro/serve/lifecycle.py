@@ -144,6 +144,7 @@ class StoreLifecycle:
         self.mode = mode
         self.breakers = breakers
         self._reload_requested = threading.Event()
+        self._listeners: list = []
         self._history: list[dict] = [self._entry(store, "initial")]
         _metrics.gauge("store_generation").set(self._generation)
 
@@ -270,6 +271,9 @@ class StoreLifecycle:
             )
             if self.breakers is not None:
                 self.breakers.success("reload")
+            self._notify_listeners(
+                {"source": source, "generation": gen, "rows": dict(rows)}
+            )
             return ReloadResult(
                 ok=True, changed=True, generation=gen, rows=rows,
                 elapsed_s=elapsed,
@@ -351,6 +355,38 @@ class StoreLifecycle:
             "rows": dict(rows),
             "published_unix": time.time(),
         }
+
+    # -- publication listeners ---------------------------------------------
+
+    def add_listener(self, fn) -> None:
+        """Register ``fn(event_dict)`` called after each successful publish.
+
+        The event carries ``source`` (``"reload"``/``"poll"``),
+        ``generation``, and per-table ``rows``.  Listeners run on the
+        publishing thread *outside* the lifecycle lock, after the old
+        generation's creator reference has been dropped; exceptions are
+        logged and swallowed — a broken listener must never fail a
+        reload.  This is the hook the view refresher uses to learn
+        about new generations.
+        """
+        with self._lock:
+            self._listeners.append(fn)
+
+    def remove_listener(self, fn) -> None:
+        with self._lock:
+            try:
+                self._listeners.remove(fn)
+            except ValueError:
+                pass
+
+    def _notify_listeners(self, event: dict) -> None:
+        with self._lock:
+            listeners = list(self._listeners)
+        for fn in listeners:
+            try:
+                fn(dict(event))
+            except Exception:  # noqa: BLE001
+                logger.exception("publication listener failed for %s", event)
 
     # -- SIGHUP plumbing ---------------------------------------------------
 

@@ -212,6 +212,9 @@ class OpsServer:
             shards = getattr(self.service, "shard_states", None)
             if shards is not None:
                 body["shards"] = shards()
+            views = getattr(self.service, "views", None)
+            if views is not None:
+                body["views"] = views.snapshot()
         try:
             from repro.engine.planner import result_cache
 

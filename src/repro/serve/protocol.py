@@ -49,8 +49,9 @@ MIN_PROTOCOL_VERSION = 1
 
 #: What a v2 server can do beyond the v1 surface.  Servers advertise
 #: these in the hello response; routers check for ``partials``/``meta``
-#: before relying on them.
-CAPABILITIES = ("meta", "partials", "top", "deadline", "stats")
+#: before relying on them, and clients check ``subscribe`` before
+#: opening a view-subscription connection.
+CAPABILITIES = ("meta", "partials", "top", "deadline", "stats", "subscribe")
 
 
 class ErrorCode(str, enum.Enum):

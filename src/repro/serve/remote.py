@@ -294,6 +294,7 @@ class RemoteQuery:
             n_chunks_full=int(stats.get("chunks_full", 0)),
             pruning=str(stats.get("pruning", "unavailable")),
             cache_status=str(stats.get("cache", "off")),
+            source=str(stats.get("source", "scan")),
         )
 
 

@@ -153,6 +153,11 @@ class QueryService:
         breakers: per-failure-class circuit breakers; a fresh board by
             default.  The ``"execute"`` class gates :meth:`submit` —
             while open, requests shed immediately with ``CIRCUIT_OPEN``.
+        views: optional :class:`~repro.views.catalog.ViewCatalog`.
+            When set, each request probes the catalog before the result
+            cache: a fresh matching view resolves the request without
+            planning a scan (``stats["source"] == "view"``); stale or
+            non-matching requests fall through unchanged.
     """
 
     def __init__(
@@ -171,6 +176,7 @@ class QueryService:
         slo: SloTracker | None = None,
         lifecycle: StoreLifecycle | None = None,
         breakers: BreakerBoard | None = None,
+        views=None,
     ) -> None:
         if store is None and lifecycle is None:
             raise ValueError("QueryService needs a store or a lifecycle")
@@ -181,6 +187,8 @@ class QueryService:
         self.lifecycle = lifecycle
         #: Per-failure-class circuit breakers gating :meth:`submit`.
         self.breakers = breakers if breakers is not None else BreakerBoard()
+        #: Optional materialized-view catalog probed before every scan.
+        self.views = views
         self.workers = max(1, workers)
         #: SLO burn-rate tracker fed by every resolution.  Sheds count as
         #: bad events — from the client's side a shed IS a failed request;
@@ -205,7 +213,7 @@ class QueryService:
         self._counts: dict[str, int] = {
             "submitted": 0, "ok": 0, "shed": 0, "error": 0,
             "dedup_hits": 0, "cache_hits": 0, "scans": 0, "batches": 0,
-            "deadline_cancelled": 0, "worker_revives": 0,
+            "deadline_cancelled": 0, "worker_revives": 0, "view_hits": 0,
         }
         self._shed_reasons: dict[str, int] = {}
         self._started_s = time.monotonic()
@@ -478,11 +486,41 @@ class QueryService:
             ):
                 item.error = QueryCancelled("deadline")
 
+        # View probe: a fresh materialized view answers without a scan
+        # (and without touching the result cache — the view is its own,
+        # incrementally maintained, cache).
+        if self.views is not None:
+            for item in items:
+                if item.error is not None or item.extra.get("cache"):
+                    continue
+                try:
+                    hit = self.views.serve_lookup(item.op)
+                except Exception:  # a broken catalog must not fail serving
+                    logger.exception("view lookup failed; falling back to scan")
+                    hit = None
+                if hit is None:
+                    continue
+                value, meta = hit
+                item.value = value
+                item.extra["cache"] = "view"
+                item.extra["source"] = "view"
+                item.extra["view"] = meta.get("view")
+                # Plan anyway (zone-map arithmetic, no scan) so view hits
+                # carry the same plan accounting as scans, stamped with
+                # the serving source for explain().
+                try:
+                    item.plan = item.op.plan(executor, prune=self.prune)
+                    item.plan.source = "view"
+                    item.rows_planned = item.plan.rows_planned
+                except Exception:
+                    pass
+                self._count("view_hits")
+
         # Result-cache probe: hits complete without scanning.
         cache = result_cache()
         to_scan: list[BatchItem] = []
         for item in items:
-            if item.error is not None:
+            if item.error is not None or item.extra.get("cache") == "view":
                 continue
             hit = cache.get(item.op.key) if item.op.key is not None else None
             if hit is not None:
@@ -554,9 +592,12 @@ class QueryService:
                 "exec_s": round(exec_s, 6),
                 "batch_size": len(batch),
                 "cache": item.extra.get("cache", "miss"),
+                "source": item.extra.get("source", "scan"),
                 "rows_planned": item.rows_planned,
                 "store_gen": lease.generation if lease is not None else 0,
             }
+            if item.extra.get("view"):
+                stats["view"] = item.extra["view"]
             if item.plan is not None:
                 # Plan accounting for remote clients: lets a RemoteStore
                 # reconstruct the pruning story a local QueryResult
@@ -724,6 +765,7 @@ class QueryService:
                 "batching": self.batching,
                 "single_flight": self.single_flight,
                 "default_deadline_s": self.default_deadline_s,
+                "views": len(self.views) if self.views is not None else 0,
             },
             "stats": self.stats(),
         }

@@ -1,0 +1,230 @@
+"""Materialized-view definitions: a named, persistable query terminal.
+
+A :class:`ViewDefinition` captures exactly one fluent-query terminal —
+``store.query(table).filter(...).group_by(...).count()/sum()/...`` — in
+a form that survives a process restart: the filter is stored as the
+wire protocol's textual predicate conjuncts (the exact strings
+:func:`repro.engine.expr.parse_predicate` accepts), so a definition
+read back from disk can never execute anything, and the identity of
+the terminal is the planner's canonical signature
+(:func:`repro.engine.query.terminal_signature`) — the same key the
+result cache and the serving single-flight layer use, which is what
+lets :class:`~repro.serve.service.QueryService` recognise "this wire
+request IS that view" without any per-request matching heuristics.
+
+Definitions are append-only-friendly by construction: ``time_range``
+restrictions are rejected (row positions shift as the table grows, so
+a positional window is not incrementally maintainable), and the group
+key is stored under its *canonical* registry name so aliases
+(``Quarter`` / ``MentionQuarter``) resolve to one view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.expr import Expr, parse_predicate, to_conjuncts
+from repro.engine.query import terminal_signature
+from repro.serve.request import GROUP_OPS, OPS, QueryRequest
+
+__all__ = ["ViewDefinition", "expr_from_conjuncts"]
+
+#: View names become file names; keep them boring.
+_NAME_OK = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_-.")
+
+
+def expr_from_conjuncts(conjuncts: tuple[str, ...] | list[str]) -> Expr | None:
+    """AND-fold textual predicates back into one :class:`Expr`.
+
+    The inverse of :func:`repro.engine.expr.to_conjuncts`; an empty
+    list means "no filter".
+    """
+    expr: Expr | None = None
+    for text in conjuncts:
+        conjunct = parse_predicate(str(text))
+        expr = conjunct if expr is None else (expr & conjunct)
+    return expr
+
+
+@dataclass(frozen=True)
+class ViewDefinition:
+    """One registered view: a named terminal over one table.
+
+    Attributes:
+        name: unique catalog name (also the on-disk state file stem).
+        table: ``"events"`` or ``"mentions"``.
+        op: terminal operation (``count``/``sum``/``mean``; grouped
+            views additionally allow ``stats``/``top``).
+        where: textual predicate conjuncts, ANDed (wire grammar only).
+        column: aggregated column for ``sum``/``mean``/``stats``.
+        group_by: group-key name (canonicalised at registration).
+        k: ``top`` views only — how many groups to keep.
+    """
+
+    name: str
+    table: str = "mentions"
+    op: str = "count"
+    where: tuple[str, ...] = field(default_factory=tuple)
+    column: str | None = None
+    group_by: str | None = None
+    k: int | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "where", tuple(str(w) for w in self.where))
+        if self.k is not None:
+            object.__setattr__(self, "k", int(self.k))
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_query(
+        cls,
+        name: str,
+        query,
+        op: str,
+        column: str | None = None,
+        k: int | None = None,
+    ) -> "ViewDefinition":
+        """Capture a fluent query plus a terminal name as a definition.
+
+        ``query`` is a :class:`~repro.engine.query.Query` or
+        :class:`~repro.engine.query.GroupedQuery` (the object you would
+        have called the terminal on).  The filter is serialized through
+        :func:`~repro.engine.expr.to_conjuncts`, so expressions outside
+        the wire grammar (OR, NOT, arithmetic) raise ``ValueError`` —
+        the same restriction remote queries live under.
+
+        Raises:
+            ValueError: on a time-restricted query (not incrementally
+                maintainable), an inexpressible filter, or a bad name.
+        """
+        group_by = None
+        if hasattr(query, "_q") and hasattr(query, "key"):  # GroupedQuery
+            group_by = query.key
+            query = query._q
+        total = query.store.n_rows(query.table_name)
+        if (query.rows.start, query.rows.stop) != (0, total):
+            raise ValueError(
+                "materialized views cover whole tables; a time_range view "
+                "is not incrementally maintainable (row positions shift "
+                "as the table grows)"
+            )
+        defn = cls(
+            name=name,
+            table=query.table_name,
+            op=op,
+            where=tuple(to_conjuncts(query.where)),
+            column=column,
+            group_by=group_by,
+            k=k,
+        )
+        defn.validate()
+        return defn
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "ViewDefinition":
+        defn = cls(
+            name=str(raw["name"]),
+            table=str(raw.get("table", "mentions")),
+            op=str(raw.get("op", "count")),
+            where=tuple(raw.get("where") or ()),
+            column=raw.get("column"),
+            group_by=raw.get("group_by"),
+            k=raw.get("k"),
+        )
+        defn.validate()
+        return defn
+
+    def to_dict(self) -> dict:
+        out: dict = {"name": self.name, "table": self.table, "op": self.op,
+                     "where": list(self.where)}
+        if self.column is not None:
+            out["column"] = self.column
+        if self.group_by is not None:
+            out["group_by"] = self.group_by
+        if self.k is not None:
+            out["k"] = self.k
+        return out
+
+    # -- validation --------------------------------------------------------
+
+    def validate(self) -> None:
+        """Structural validation (no store access).
+
+        Raises:
+            ValueError: bad name, unknown op, missing/extra column — the
+                same rules :meth:`QueryRequest.validate` enforces.
+        """
+        if not self.name or not set(self.name) <= _NAME_OK:
+            raise ValueError(
+                f"bad view name {self.name!r} (letters, digits, _-. only)"
+            )
+        expr_from_conjuncts(self.where)  # raises on grammar violations
+        self.to_request().validate()
+
+    # -- derived forms -----------------------------------------------------
+
+    def parsed_where(self) -> Expr | None:
+        return expr_from_conjuncts(self.where)
+
+    def where_canonical(self) -> str | None:
+        """The filter's planner-canonical string (cache-key component)."""
+        expr = self.parsed_where()
+        return expr.canonical() if expr is not None else None
+
+    def to_request(self, partials: bool = False) -> QueryRequest:
+        """The equivalent serving request (what the delta pass compiles)."""
+        return QueryRequest(
+            table=self.table,
+            op=self.op,
+            where=self.parsed_where(),
+            column=self.column,
+            group_by=self.group_by,
+            k=self.k,
+            partials=partials,
+            client_id=f"view:{self.name}",
+        )
+
+    def op_name(self) -> str:
+        """Planner op name (``groupby_`` prefix for grouped terminals)."""
+        return f"groupby_{self.op}" if self.group_by is not None else self.op
+
+    def signature(self, store) -> tuple:
+        """The terminal's canonical signature against ``store``.
+
+        Exactly what :class:`~repro.serve.batcher.ExecutableOp` stamps
+        on a non-partials request for the same terminal, so a view is
+        matched to incoming requests by tuple equality, never by
+        re-deriving intent.
+        """
+        group = None
+        n_groups = None
+        if self.group_by is not None:
+            group, _keys, n_groups = store.group_key(self.table, self.group_by)
+        sig = terminal_signature(self.op, self.column, group=group, n_groups=n_groups)
+        if self.op == "top":
+            sig = sig + (int(self.k),)
+        return sig
+
+    def describe(self) -> str:
+        """One-line human summary for ``view list`` and ``/varz``."""
+        parts = [f"{self.table}"]
+        if self.where:
+            parts.append("where " + " AND ".join(self.where))
+        if self.group_by is not None:
+            parts.append(f"group_by {self.group_by}")
+        term = self.op
+        if self.column is not None:
+            term += f"({self.column})"
+        elif self.k is not None:
+            term += f"({self.k})"
+        else:
+            term += "()"
+        parts.append(term)
+        return " | ".join(parts)
+
+
+# Keep the module import-light: OPS/GROUP_OPS re-exported for the CLI's
+# argument choices without importing the serve package there.
+VALID_OPS = OPS
+VALID_GROUP_OPS = GROUP_OPS

@@ -1,0 +1,138 @@
+"""Delta evaluation: per-chunk mergeable partials over a row window.
+
+The incremental-maintenance kernel.  Given a view definition and a row
+window ``[row_lo, row_hi)`` (typically "everything published since the
+last refresh"), :func:`compute_segments` produces one mergeable partial
+per zone-map chunk the window touches — the exact partial shapes
+:class:`repro.serve.batcher.ExecutableOp` emits in ``partials=True``
+mode, which are the shapes :func:`repro.shard.merge.merge_parts` folds
+exactly.
+
+The pass is planned: :func:`~repro.engine.planner.plan_query` runs the
+zone-map pruning over just the window, so chunks the filter provably
+cannot match contribute an (explicit, tiny) zero partial without being
+scanned, and provably all-matching chunks skip mask evaluation — a
+delta refresh costs what a planner-pruned scan of *only the new rows*
+costs, never a rescan of the dataset.
+
+Segments are aligned to zone-map chunk boundaries (clipped at the
+window edges), tile the window with no gaps, and are produced in row
+order — the invariants :mod:`repro.views.catalog` relies on for exact
+merging and for subtracting retracted chunks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.executor import SerialExecutor
+from repro.engine.planner import plan_query
+from repro.serve.batcher import ExecutableOp, compile_request
+
+__all__ = ["Segment", "compute_segments", "segment_parts"]
+
+
+@dataclass(slots=True)
+class Segment:
+    """One retained per-chunk partial: absolute row range + partial value.
+
+    ``part`` is the mergeable partial (JSON-able after
+    :func:`repro.serve.request._jsonable`; freshly computed segments may
+    hold numpy arrays — :func:`~repro.shard.merge.merge_parts` accepts
+    both forms).
+    """
+
+    row_lo: int
+    row_hi: int
+    part: object
+
+    def to_dict(self) -> dict:
+        from repro.serve.request import _jsonable
+
+        return {"rows": [int(self.row_lo), int(self.row_hi)],
+                "part": _jsonable(self.part)}
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "Segment":
+        lo, hi = raw["rows"]
+        return cls(row_lo=int(lo), row_hi=int(hi), part=raw["part"])
+
+
+def segment_parts(segments: list[Segment]) -> list:
+    """The partials of ``segments`` in row order (merge input)."""
+    return [s.part for s in sorted(segments, key=lambda s: s.row_lo)]
+
+
+def compute_segments(
+    store,
+    definition,
+    row_lo: int,
+    row_hi: int,
+    executor=None,
+) -> list[Segment]:
+    """Compute one partial per zone-map chunk of ``[row_lo, row_hi)``.
+
+    Returns segments in row order, tiling the window exactly.  An empty
+    window returns ``[]``.
+
+    Raises:
+        KeyError / ValueError: unknown column or group key for this
+            store — surfaced at registration/refresh, never mid-serve.
+    """
+    row_lo, row_hi = int(row_lo), int(row_hi)
+    if row_hi <= row_lo:
+        return []
+    req = definition.to_request(partials=True)
+    op: ExecutableOp = compile_request(store, req)
+    executor = executor if executor is not None else SerialExecutor()
+    plan = plan_query(
+        store, definition.table, req.where, slice(row_lo, row_hi),
+        op.op_name, executor, sig=None, prune=True,
+    )
+
+    zm = store.zone_maps(definition.table)
+    chunk_rows = int(zm.chunk_rows) if zm.n_chunks else max(row_hi - row_lo, 1)
+
+    # Bucket the plan's surviving units by the chunk they fall in,
+    # splitting any unit that crosses a chunk boundary (the unit's
+    # need_mask applies uniformly to both halves).
+    def chunk_of(row: int) -> int:
+        return row // chunk_rows
+
+    parts_by_chunk: dict[int, list] = {}
+    for unit in plan.units:
+        lo = unit.rows.start
+        while lo < unit.rows.stop:
+            hi = min(unit.rows.stop, (chunk_of(lo) + 1) * chunk_rows)
+            part = op.partial(slice(lo, hi), unit.need_mask)
+            parts_by_chunk.setdefault(chunk_of(lo), []).append(part)
+            lo = hi
+
+    segments: list[Segment] = []
+    first, last = chunk_of(row_lo), chunk_of(row_hi - 1)
+    for chunk in range(first, last + 1):
+        lo = max(row_lo, chunk * chunk_rows)
+        hi = min(row_hi, (chunk + 1) * chunk_rows)
+        # reduce() in partials mode folds this chunk's unit partials
+        # into one mergeable partial; an empty list (the chunk was
+        # pruned) folds to the op's zero partial, keeping the window
+        # tiled so retraction bookkeeping stays trivial.
+        parts = parts_by_chunk.get(chunk, [])
+        if not parts and definition.group_by is not None and definition.op == "stats":
+            # A pruned chunk's zero stats partial must still carry the
+            # aggregated column's true dtype: merge_parts takes the
+            # dtype from the first part, and the stats kernels' empty-
+            # group sentinels depend on it — a float64 placeholder would
+            # silently widen an int column and break byte-identity.
+            dtype = op.table[definition.column].dtype
+            part = {
+                "keys": np.zeros(0, dtype=np.int64),
+                "values": np.zeros(0, dtype=dtype),
+                "dtype": dtype.name,
+            }
+        else:
+            part = op.reduce(parts)
+        segments.append(Segment(row_lo=lo, row_hi=hi, part=part))
+    return segments

@@ -1,0 +1,145 @@
+"""Background view maintenance driven by store publications.
+
+:class:`ViewRefresher` bridges :class:`~repro.serve.lifecycle
+.StoreLifecycle` and :class:`~repro.views.catalog.ViewCatalog`: it
+registers a publication listener, and a daemon thread refreshes every
+view against each newly published generation while holding a pinned
+lease (the store cannot be released mid-refresh).
+
+Publication source decides the maintenance mode: ``"poll"``
+publications come from the live follower, whose snapshots the
+lifecycle validates as strict row-extensions of the previous
+generation — the refresher trusts the append-only prefix and extends
+incrementally.  Any other source (an explicit path reload may swap in
+an arbitrary dataset) rebuilds from row zero.
+
+Between publications the thread wakes periodically to publish per-view
+``view_staleness_s`` gauges, so an idle stream still reports honest
+staleness.
+"""
+
+from __future__ import annotations
+
+import logging
+import queue
+import threading
+
+from repro.obs import metrics as _metrics
+
+__all__ = ["ViewRefresher"]
+
+logger = logging.getLogger(__name__)
+
+
+class ViewRefresher:
+    """Refresh catalog views on every lifecycle publication.
+
+    Args:
+        catalog: the :class:`~repro.views.catalog.ViewCatalog` to keep
+            fresh.
+        lifecycle: a :class:`~repro.serve.lifecycle.StoreLifecycle`;
+            its ``add_listener`` hook feeds the refresh queue and its
+            ``pin()`` lease guards each refresh.
+        staleness_interval_s: how often to re-publish staleness gauges
+            while idle.
+    """
+
+    def __init__(self, catalog, lifecycle, staleness_interval_s: float = 5.0) -> None:
+        self.catalog = catalog
+        self.lifecycle = lifecycle
+        self.staleness_interval_s = float(staleness_interval_s)
+        self._queue: queue.Queue = queue.Queue()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._refreshes = 0
+        lifecycle.add_listener(self._on_publication)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self, initial: bool = True) -> "ViewRefresher":
+        """Start the maintenance thread (idempotent).
+
+        ``initial=True`` enqueues an immediate refresh so views are
+        warm against the already-published generation before the first
+        poll lands.
+        """
+        if self._thread is not None and self._thread.is_alive():
+            return self
+        self._stop.clear()
+        if initial:
+            self._queue.put({"source": "initial"})
+        self._thread = threading.Thread(
+            target=self._run, name="view-refresher", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, timeout_s: float = 5.0) -> None:
+        self._stop.set()
+        self._queue.put(None)  # wake the worker
+        if self._thread is not None:
+            self._thread.join(timeout=timeout_s)
+            self._thread = None
+
+    def __enter__(self) -> "ViewRefresher":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- publication hook --------------------------------------------------
+
+    def _on_publication(self, event: dict) -> None:
+        """Lifecycle listener: runs on the publishing thread, so it only
+        enqueues — refresh work happens on the refresher thread."""
+        self._queue.put(dict(event))
+
+    def refresh_now(self, assume_prefix: bool = True) -> dict:
+        """Synchronous refresh against the current generation (CLI/tests)."""
+        return self._refresh(source="manual", assume_prefix=assume_prefix)
+
+    @property
+    def refreshes(self) -> int:
+        return self._refreshes
+
+    # -- worker ------------------------------------------------------------
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            try:
+                event = self._queue.get(timeout=self.staleness_interval_s)
+            except queue.Empty:
+                self.catalog._update_staleness_gauges()
+                continue
+            if event is None or self._stop.is_set():
+                continue
+            # Coalesce: a burst of publications needs one refresh against
+            # the newest generation, not one per event.  A reload
+            # anywhere in the burst forces the rebuild path.
+            sources = {str(event.get("source", "manual"))}
+            try:
+                while True:
+                    extra = self._queue.get_nowait()
+                    if extra is not None:
+                        sources.add(str(extra.get("source", "manual")))
+            except queue.Empty:
+                pass
+            assume_prefix = sources <= {"poll", "initial", "manual"}
+            self._refresh(source=",".join(sorted(sources)), assume_prefix=assume_prefix)
+
+    def _refresh(self, source: str, assume_prefix: bool) -> dict:
+        lease = self.lifecycle.pin()
+        try:
+            summary = self.catalog.refresh(
+                lease.store, assume_prefix=assume_prefix, source=source
+            )
+        finally:
+            lease.release()
+        self._refreshes += 1
+        failed = sum(1 for r in summary.values() if r.get("error"))
+        if failed:
+            logger.warning(
+                "view refresh (%s): %d/%d views failed", source, failed, len(summary)
+            )
+        _metrics.gauge("view_refresher_runs").set(self._refreshes)
+        return summary

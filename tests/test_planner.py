@@ -240,18 +240,6 @@ class TestGroupedQueries:
         gq = zstore.query("mentions").group_by("Quarter")
         assert isinstance(gq, GroupedQuery)
 
-    def test_deprecated_shims_warn_and_agree(self, zstore, _fresh_cache):
-        q = Query(zstore, "mentions").filter(col("Delay") > 96)
-        keys = zstore.mention_quarter()
-        n = zstore.n_quarters()
-        with pytest.deprecated_call():
-            old = q.groupby_count(keys, n)
-        new = q.group_by("Quarter").count()
-        assert np.array_equal(old, new)
-        with pytest.deprecated_call():
-            old_sum = q.groupby_sum(keys, "Delay", n)
-        assert np.allclose(old_sum, q.group_by("Quarter").sum("Delay"))
-
     def test_grouped_stats_match_brute(self, zstore, _fresh_cache):
         res = zstore.query("mentions").group_by("Quarter").stats("Delay")
         stats = res.value
@@ -294,10 +282,18 @@ class TestResultCache:
         assert b.plan.cache_status == "miss"
 
     def test_uncacheable_sig_stays_off(self, zstore, _fresh_cache):
-        q = Query(zstore, "mentions")
-        with pytest.deprecated_call():
-            q.groupby_count(zstore.mention_quarter(), zstore.n_quarters())
-        assert q.last_plan.cache_status == "off"
+        # A plan built without a terminal signature (sig=None) carries no
+        # cache key — the path view delta passes and other internal scans
+        # use to stay out of the result cache.
+        from repro.engine.executor import SerialExecutor
+        from repro.engine.planner import plan_query
+
+        plan = plan_query(
+            zstore, "mentions", None, slice(0, zstore.n_rows("mentions")),
+            "count", SerialExecutor(), sig=None,
+        )
+        assert plan.cache_key is None
+        assert plan.cache_status == "off"
 
     def test_lru_eviction(self):
         cache = QueryCache(capacity=2)

@@ -48,16 +48,13 @@ class TestQueryBuilder:
 
     def test_groupby_count(self, tiny_store):
         keys = tiny_store.mention_quarter().astype(np.int64)
-        with pytest.deprecated_call():
-            got = Query(tiny_store, "mentions").groupby_count(keys, 20)
-        assert np.array_equal(got, np.bincount(keys, minlength=20))
+        got = Query(tiny_store, "mentions").group_by("Quarter").count()
+        n = tiny_store.n_quarters()
+        assert np.array_equal(got, np.bincount(keys, minlength=n))
 
     def test_groupby_stats_match_numpy(self, tiny_store):
         keys = np.asarray(tiny_store.mentions["SourceId"]).astype(np.int64)
-        with pytest.deprecated_call():
-            stats = Query(tiny_store, "mentions").groupby_stats(
-                keys, "Delay", tiny_store.n_sources
-            )
+        stats = Query(tiny_store, "mentions").group_by("SourceId").stats("Delay")
         d = np.asarray(tiny_store.mentions["Delay"])
         sid = 0
         mine = d[keys == sid]
@@ -176,8 +173,7 @@ class TestTimeRange:
         sel = (mi >= lo) & (mi < hi)
         assert q.sum("Delay") == np.asarray(tiny_store.mentions["Delay"])[sel].sum()
         keys = np.asarray(tiny_store.mentions["SourceId"]).astype(np.int64)
-        with pytest.deprecated_call():
-            got = q.groupby_count(keys, tiny_store.n_sources)
+        got = q.group_by("SourceId").count()
         want = np.bincount(keys[sel], minlength=tiny_store.n_sources)
         assert np.array_equal(got, want)
 
@@ -187,8 +183,7 @@ class TestTimeRange:
         lo, hi = quarter_index_range(3)
         q = Query(tiny_store, "mentions").time_range(lo, hi)
         keys = np.asarray(tiny_store.mentions["SourceId"]).astype(np.int64)
-        with pytest.deprecated_call():
-            stats = q.groupby_stats(keys, "Delay", tiny_store.n_sources)
+        stats = q.group_by("SourceId").stats("Delay")
         mi = np.asarray(tiny_store.mentions["MentionInterval"])
         d = np.asarray(tiny_store.mentions["Delay"])
         sel = (mi >= lo) & (mi < hi)

@@ -520,6 +520,84 @@ class TestSocketServer:
                     assert third["status"] == "ok"
 
 
+class TestProtocolRobustness:
+    """Hostile/broken wire input: every reply is a clean, coded error —
+    never a server traceback — and the server keeps serving."""
+
+    @staticmethod
+    def _raw(server):
+        return socket.create_connection(("127.0.0.1", server.port), timeout=10.0)
+
+    def test_garbage_and_truncated_frames_get_coded_errors(self, service):
+        with ServeServer(service, port=0) as server:
+            with self._raw(server) as conn:
+                reader = conn.makefile("rb")
+                for payload in (
+                    b"\x00\xffbinary trash",
+                    b'{"kind": "query", "table":',  # truncated mid-object
+                    b"[1, 2, 3]",                   # JSON but not an object
+                    b'"just a string"',
+                    b'{"kind": "teleport"}',        # unknown verb
+                    b'{"kind": "query", "op": "launch"}',  # bad request
+                ):
+                    conn.sendall(payload + b"\n")
+                    reply = json.loads(reader.readline())
+                    assert reply["status"] == "error", payload
+                    assert reply["code"] == "BAD_REQUEST", payload
+                    assert "Traceback" not in reply.get("error", ""), payload
+                # The connection survived all of it.
+                conn.sendall(b'{"kind": "ping"}\n')
+                assert json.loads(reader.readline())["pong"] is True
+
+    def test_oversized_line_rejected_then_closed(self, service):
+        from repro.serve.server import MAX_LINE_BYTES
+
+        with ServeServer(service, port=0) as server:
+            with self._raw(server) as conn:
+                reader = conn.makefile("rb")
+                blob = b'{"kind": "query", "pad": "' + b"a" * MAX_LINE_BYTES
+                conn.sendall(blob + b'"}\n')
+                reply = json.loads(reader.readline())
+                assert reply["status"] == "error"
+                assert reply["code"] == "BAD_REQUEST"
+                assert reader.readline() == b""  # server closed the line
+            # ...but the server itself is still accepting.
+            with self._raw(server) as conn2:
+                reader2 = conn2.makefile("rb")
+                conn2.sendall(b'{"kind": "ping"}\n')
+                assert json.loads(reader2.readline())["pong"] is True
+
+    def test_abrupt_disconnect_mid_request_is_harmless(self, service):
+        with ServeServer(service, port=0) as server:
+            for _ in range(3):
+                conn = self._raw(server)
+                conn.sendall(b'{"kind": "query", "table": "mentions", '
+                             b'"op": "count"}\n')
+                conn.close()  # hang up without reading the reply
+            with self._raw(server) as conn:
+                reader = conn.makefile("rb")
+                conn.sendall(b'{"kind": "ping"}\n')
+                assert json.loads(reader.readline())["pong"] is True
+
+    def test_unexpected_internal_failure_is_coded(self, tiny_store):
+        svc = QueryService(tiny_store, workers=1)
+        try:
+            with ServeServer(svc, port=0) as server:
+                svc.profile = None  # force a TypeError inside _handle_line
+                with self._raw(server) as conn:
+                    reader = conn.makefile("rb")
+                    conn.sendall(b'{"kind": "stats"}\n')
+                    reply = json.loads(reader.readline())
+                    assert reply["status"] == "error"
+                    assert reply["code"] == "INTERNAL"
+                    assert "Traceback" not in reply["error"]
+                    # The connection survives an internal error too.
+                    conn.sendall(b'{"kind": "ping"}\n')
+                    assert json.loads(reader.readline())["pong"] is True
+        finally:
+            svc.close(drain=False)
+
+
 class TestDeadlinesAndBreakers:
     def test_deadline_cancel_sheds_and_frees_the_worker(self, tiny_store):
         plan = faults.FaultPlan(

@@ -360,6 +360,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="rebuild from row zero instead of trusting the append-only "
         "prefix (required when the dataset was rewritten in place)",
     )
+    fz = sub.add_parser(
+        "fuzz",
+        help="differential query fuzzing across engine/planner/shards/views/wire",
+    )
+    fz.add_argument("--seed", type=int, default=0, help="campaign seed")
+    fz.add_argument(
+        "--cases", type=int, default=500, help="total query cases to run"
+    )
+    fz.add_argument(
+        "--cases-per-store", type=int, default=25,
+        help="cases amortized over each synthesized store",
+    )
+    fz.add_argument(
+        "--local-only", action="store_true",
+        help="skip the shard/remote/view surfaces (fast engine-only sweep)",
+    )
+    fz.add_argument(
+        "--corpus-dir", type=Path, default=Path("tests/fuzz_corpus"),
+        help="where shrunk repros are written (default: tests/fuzz_corpus)",
+    )
+    fz.add_argument(
+        "--no-corpus", action="store_true",
+        help="report mismatches without shrinking/writing repro files",
+    )
+    fz.add_argument(
+        "--self-test", action="store_true",
+        help="plant a kernel bug and assert the harness catches + shrinks it",
+    )
+
     return p
 
 
@@ -734,6 +763,7 @@ def _cmd_serve(args) -> int:
 
 
 def _cmd_view(args) -> int:
+    from repro.storage import StorageError
     from repro.views import ViewCatalog, ViewDefinition, ViewError
 
     catalog = ViewCatalog(args.views_dir)
@@ -807,7 +837,7 @@ def _cmd_view(args) -> int:
                         f"in {info['elapsed_s']:.3f}s"
                     )
             return 1 if failed else 0
-    except (ViewError, ValueError) as exc:
+    except (ViewError, ValueError, StorageError) as exc:
         logger.error("%s", exc)
         return 2
     raise AssertionError(f"unhandled view command {args.view_command!r}")
@@ -946,6 +976,32 @@ def _write_metrics(path: Path) -> None:
     logger.info("metrics registry (%d series) written to %s", reg.n_series(), path)
 
 
+def _cmd_fuzz(args) -> int:
+    from repro.qa.fuzz import run_fuzz, self_test
+
+    if args.self_test:
+        try:
+            report, _ = self_test(seed=args.seed)
+        except AssertionError as exc:
+            logger.error("fuzzer self-test FAILED: %s", exc)
+            return 1
+        print(
+            "self-test ok: planted kernel bug caught "
+            f"({len(report.mismatches)} mismatch), shrunk, and replayed"
+        )
+        return 0
+
+    report = run_fuzz(
+        seed=args.seed,
+        cases=args.cases,
+        cases_per_store=args.cases_per_store,
+        heavy=not args.local_only,
+        corpus_dir=None if args.no_corpus else args.corpus_dir,
+    )
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the exit status."""
     from repro.obs import setup_logging
@@ -985,6 +1041,7 @@ def main(argv: list[str] | None = None) -> int:
         "split": _cmd_split,
         "shard-serve": _cmd_shard_serve,
         "view": _cmd_view,
+        "fuzz": _cmd_fuzz,
     }
     rc = handlers[args.command](args)
     if metrics_out is not None and rc == 0:

@@ -55,11 +55,17 @@ def group_sum(
     n_groups: int,
     mask: np.ndarray | None = None,
 ) -> np.ndarray:
-    """Sum of ``values`` per group (float64)."""
+    """Sum of ``values`` per group (float64).
+
+    The cast on the way out is load-bearing: ``np.bincount`` ignores
+    the weights dtype when the input is empty and returns integer
+    zeros, which would make an empty selection answer with different
+    bytes than a nonempty one.
+    """
     keep = _masked(keys, mask)
     return np.bincount(
         keys[keep], weights=values[keep].astype(np.float64), minlength=n_groups
-    )
+    ).astype(np.float64, copy=False)
 
 
 def _sentinel(values: np.ndarray, largest: bool):
@@ -218,4 +224,4 @@ def group_sum_2d(
     flat = keys_i[keep].astype(np.int64) * nj + keys_j[keep]
     return np.bincount(
         flat, weights=values[keep].astype(np.float64), minlength=ni * nj
-    ).reshape(ni, nj)
+    ).astype(np.float64, copy=False).reshape(ni, nj)

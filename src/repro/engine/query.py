@@ -511,8 +511,12 @@ class Query:
                 k = np.concatenate([p[0] for p in parts])
                 v = np.concatenate([p[1] for p in parts])
             else:
+                # Keep the column dtype: the empty-group min/max
+                # sentinels (iinfo extremes vs ±inf) depend on it, and a
+                # fully-pruned scan must answer byte-identically to a
+                # scan that merely selected nothing.
                 k = np.zeros(0, dtype=np.int64)
-                v = np.zeros(0)
+                v = np.zeros(0, dtype=self.table[column].dtype)
             return group_stats_dict(k, v, n_groups)
 
         return self._run("groupby_stats", kernel_for, reduce, sig=sig)

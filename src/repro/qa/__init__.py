@@ -1,0 +1,49 @@
+"""Differential + metamorphic query fuzzing.
+
+One oracle keeps the repo's redundant execution surfaces honest: the
+baseline row-at-a-time reference, the unpruned scan, the planner-pruned
+scan, the 3-shard scatter-gather router, materialized-view serving, and
+the ``repro.connect`` wire round-trip all promise byte-identical
+answers, and :mod:`repro.qa` generates adversarial stores and queries
+to check that they keep the promise.
+
+Entry points:
+
+* :func:`repro.qa.fuzz.run_fuzz` — the seeded campaign driver
+  (``repro-gdelt fuzz`` on the command line);
+* :func:`repro.qa.fuzz.self_test` — injects a kernel bug on purpose
+  and asserts the harness catches and shrinks it;
+* :func:`repro.qa.shrink.replay_corpus_entry` — re-run a committed
+  ``tests/fuzz_corpus/*.json`` repro.
+"""
+
+from repro.qa.generator import CaseGen, StoreSpec, build_store, expr_from_spec
+from repro.qa.oracle import Mismatch, Oracle, StoreHarness, canon
+from repro.qa.reference import reference_value
+from repro.qa.shrink import (
+    load_corpus_entry,
+    replay_corpus_entry,
+    shrink_case,
+    write_corpus_entry,
+)
+from repro.qa.fuzz import FuzzReport, inject_kernel_bug, run_fuzz, self_test
+
+__all__ = [
+    "CaseGen",
+    "StoreSpec",
+    "build_store",
+    "expr_from_spec",
+    "Mismatch",
+    "Oracle",
+    "StoreHarness",
+    "canon",
+    "reference_value",
+    "load_corpus_entry",
+    "replay_corpus_entry",
+    "shrink_case",
+    "write_corpus_entry",
+    "FuzzReport",
+    "inject_kernel_bug",
+    "run_fuzz",
+    "self_test",
+]

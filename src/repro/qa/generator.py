@@ -1,0 +1,382 @@
+"""Deterministic store + query generation for the differential fuzzer.
+
+Everything here is JSON-serializable on purpose: a :class:`StoreSpec`
+plus a case dict is a complete, replayable repro (the shrinker writes
+exactly that to ``tests/fuzz_corpus/``).  Stores are rebuilt from the
+spec's seed with :func:`numpy.random.default_rng`, whose streams are
+stable across platforms, so a committed repro keeps meaning the same
+bytes forever.
+
+Query cases are plain dicts::
+
+    {"table": "mentions", "where": <spec tree> | None,
+     "time_range": [lo, hi] | None, "op": "stats",
+     "column": "Delay", "group_by": "Quarter", "k": None}
+
+and expression spec trees are::
+
+    {"kind": "cmp", "column": "Delay", "op": ">", "value": 96}
+    {"kind": "isin", "column": "Confidence", "values": [0, 100]}
+    {"kind": "and" | "or", "a": <spec>, "b": <spec>}
+    {"kind": "not", "a": <spec>}
+
+Aggregated (``sum``/``mean``/``stats``) columns are drawn from integer
+columns only: integer sums are exact in float64 below 2**53 regardless
+of association, so every surface answers byte-identically even though
+chunk and shard boundaries differ.  Float columns (the tones, including
+their NaNs) are exercised where associativity cannot leak — in filters.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from repro.engine.expr import Expr, col
+from repro.engine.store import GdeltStore
+from repro.storage.columns import StringDictionary
+
+__all__ = [
+    "StoreSpec",
+    "build_arrays",
+    "build_store",
+    "expr_from_spec",
+    "spec_is_wire",
+    "spec_columns",
+    "CaseGen",
+    "sample_store_spec",
+]
+
+# ccTLDs the paper's source-country rule maps to FIPS codes, plus a
+# generic TLD (→ US) and one unattributable suffix (→ -1, dropped).
+_TLDS = (".ru", ".de", ".fr", ".jp", ".ua", ".com", ".org", ".nosuchtld")
+_FIPS = ("", "US", "RS", "GM", "FR", "JA", "UP", "ZZ")
+
+INT_AGG_COLUMNS = {
+    "mentions": ("Delay", "Confidence", "EventInterval", "MentionInterval"),
+    "events": ("NumMentions", "NumSources", "NumArticles", "QuadClass"),
+}
+FILTER_COLUMNS = {
+    "mentions": (
+        "Delay", "Confidence", "EventInterval", "MentionInterval",
+        "SourceId", "GlobalEventID", "DocTone",
+    ),
+    "events": (
+        "NumMentions", "NumSources", "NumArticles", "QuadClass",
+        "DayInterval", "GlobalEventID", "AvgTone", "CountryCode",
+    ),
+}
+GROUP_KEYS = {
+    "mentions": (
+        "Quarter", "EventQuarter", "Source", "SourceCountry",
+        "EventCountry", "Confidence",
+    ),
+    "events": ("Quarter", "Country", "QuadClass"),
+}
+CMP_OPS = (">", ">=", "<", "<=", "==", "!=")
+
+
+@dataclass
+class StoreSpec:
+    """A complete, replayable description of one synthetic store."""
+
+    seed: int = 0
+    n_events: int = 300
+    n_mentions: int = 1000
+    n_sources: int = 24
+    zone_chunk_rows: int = 256
+    span: int = 20_000
+    nan_frac: float = 0.08
+    dangling_frac: float = 0.05
+    constant_confidence: bool = False
+    empty_mentions: bool = False
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "StoreSpec":
+        return cls(**raw)
+
+
+def build_arrays(spec: StoreSpec) -> tuple[dict, dict, dict]:
+    """Synthesize ``(events, mentions, dictionaries)`` from a spec.
+
+    Honors the store invariants the engine relies on: events
+    ``GlobalEventID`` sorted unique, mentions ``MentionInterval``
+    sorted ascending, ``SourceId`` within the sources dictionary.
+    """
+    rng = np.random.default_rng(spec.seed)
+    n_ev = max(1, spec.n_events)
+    n_mt = 0 if spec.empty_mentions else max(0, spec.n_mentions)
+    n_src = max(1, spec.n_sources)
+
+    domains = [f"site{i}{_TLDS[i % len(_TLDS)]}" for i in range(n_src)]
+    dictionaries = {
+        "sources": StringDictionary.from_strings(domains),
+        "countries": StringDictionary.from_strings(list(_FIPS)),
+    }
+
+    eids = 1000 + np.cumsum(rng.integers(1, 4, size=n_ev)).astype(np.int64)
+    ev_interval = rng.integers(0, spec.span, size=n_ev).astype(np.int64)
+    root = rng.integers(1, 21, size=n_ev).astype(np.uint8)
+    tone = rng.normal(0.0, 4.0, size=n_ev).astype(np.float32)
+    if spec.nan_frac > 0:
+        tone[rng.random(n_ev) < spec.nan_frac] = np.nan
+    events = {
+        "GlobalEventID": eids,
+        "DayInterval": (ev_interval - (ev_interval % 96)).astype(np.int32),
+        "RootCode": root,
+        "QuadClass": (((root.astype(np.int16) - 1) // 5) + 1).astype(np.uint8),
+        "NumMentions": rng.integers(1, 50, size=n_ev).astype(np.int32),
+        "NumSources": rng.integers(1, 12, size=n_ev).astype(np.int32),
+        "NumArticles": rng.integers(1, 50, size=n_ev).astype(np.int32),
+        "AvgTone": tone,
+        "CountryCode": rng.integers(0, len(_FIPS), size=n_ev).astype(np.int16),
+        "AddedInterval": ev_interval.astype(np.int32),
+        "SourceURLId": np.full(n_ev, -1, dtype=np.int32),
+    }
+
+    # Mentions reference mostly-real events; a slice dangles on purpose.
+    pick = rng.integers(0, n_ev, size=n_mt)
+    m_eids = eids[pick]
+    m_ev_interval = ev_interval[pick]
+    if spec.dangling_frac > 0 and n_mt:
+        dangle = rng.random(n_mt) < spec.dangling_frac
+        # Offsetting by the max gap guarantees a missing id.
+        m_eids = np.where(dangle, eids[-1] + 5 + pick, m_eids)
+    delay = rng.integers(1, 2000, size=n_mt).astype(np.int64)
+    m_interval = np.sort(np.minimum(m_ev_interval + delay, spec.span + 2000))
+    conf = rng.integers(0, 101, size=n_mt).astype(np.int16)
+    conf[rng.random(n_mt) < 0.05] = 0
+    conf[rng.random(n_mt) < 0.05] = 100
+    if spec.constant_confidence:
+        conf[:] = 42
+    doc_tone = rng.normal(0.0, 4.0, size=n_mt).astype(np.float32)
+    if spec.nan_frac > 0 and n_mt:
+        doc_tone[rng.random(n_mt) < spec.nan_frac] = np.nan
+    mentions = {
+        "GlobalEventID": m_eids.astype(np.int64),
+        "EventInterval": m_ev_interval.astype(np.int32),
+        "MentionInterval": m_interval.astype(np.int32),
+        "Delay": (m_interval - m_ev_interval).astype(np.int32),
+        "SourceId": rng.integers(0, n_src, size=n_mt).astype(np.int32),
+        "Confidence": conf,
+        "DocTone": doc_tone,
+        "UrlId": np.full(n_mt, -1, dtype=np.int32),
+    }
+    return events, mentions, dictionaries
+
+
+def build_store(spec: StoreSpec) -> GdeltStore:
+    events, mentions, dictionaries = build_arrays(spec)
+    return GdeltStore.from_arrays(
+        events, mentions, dictionaries, zone_chunk_rows=spec.zone_chunk_rows
+    )
+
+
+# -- expression specs --------------------------------------------------------
+
+
+def expr_from_spec(spec: dict | None) -> Expr | None:
+    """Build an engine :class:`Expr` from a JSON spec tree."""
+    if spec is None:
+        return None
+    kind = spec["kind"]
+    if kind == "cmp":
+        c = col(spec["column"])
+        v = spec["value"]
+        return {
+            ">": c > v, ">=": c >= v, "<": c < v,
+            "<=": c <= v, "==": c == v, "!=": c != v,
+        }[spec["op"]]
+    if kind == "isin":
+        return col(spec["column"]).isin(list(spec["values"]))
+    if kind == "and":
+        return expr_from_spec(spec["a"]) & expr_from_spec(spec["b"])
+    if kind == "or":
+        return expr_from_spec(spec["a"]) | expr_from_spec(spec["b"])
+    if kind == "not":
+        return ~expr_from_spec(spec["a"])
+    raise ValueError(f"unknown expr spec kind {kind!r}")
+
+
+def spec_is_wire(spec: dict | None) -> bool:
+    """True when the spec survives ``to_conjuncts`` — an AND of
+    column-vs-finite-constant comparisons and nonempty ``isin``."""
+    if spec is None:
+        return True
+    kind = spec["kind"]
+    if kind == "and":
+        return spec_is_wire(spec["a"]) and spec_is_wire(spec["b"])
+    if kind == "cmp":
+        return math.isfinite(float(spec["value"]))
+    if kind == "isin":
+        return len(spec["values"]) > 0
+    return False
+
+
+def spec_columns(spec: dict | None) -> set[str]:
+    if spec is None:
+        return set()
+    kind = spec["kind"]
+    if kind in ("cmp", "isin"):
+        return {spec["column"]}
+    if kind == "not":
+        return spec_columns(spec["a"])
+    return spec_columns(spec["a"]) | spec_columns(spec["b"])
+
+
+# -- case generation ---------------------------------------------------------
+
+
+class CaseGen:
+    """Seeded sampler of adversarial query cases over a given store.
+
+    Boundary-heavy by construction: filter constants are drawn from the
+    column's actual min/max (±1), values sitting on chunk edges, absent
+    values, zeros, and — for float columns in non-wire positions — NaN.
+    """
+
+    def __init__(self, store: GdeltStore, spec: StoreSpec, seed: int) -> None:
+        self.store = store
+        self.spec = spec
+        self.rng = np.random.default_rng(seed)
+        self._pools: dict[tuple[str, str], list] = {}
+
+    # -- value pools --------------------------------------------------------
+
+    def _pool(self, table: str, column: str) -> list:
+        key = (table, column)
+        if key not in self._pools:
+            arr = np.asarray(self.store.table(table)[column])
+            vals: list = [0, -1]
+            if len(arr):
+                finite = arr[np.isfinite(arr)] if arr.dtype.kind == "f" else arr
+                if len(finite):
+                    lo, hi = finite.min(), finite.max()
+                    vals += [self._lit(lo), self._lit(hi),
+                             self._lit(lo) - 1, self._lit(hi) + 1]
+                # A value sitting exactly on a chunk edge.
+                edge = min(self.spec.zone_chunk_rows, len(arr) - 1)
+                vals.append(self._lit(arr[edge]) if np.isfinite(arr[edge]) else 0)
+            self._pools[key] = vals
+        return self._pools[key]
+
+    @staticmethod
+    def _lit(v) -> int | float:
+        f = float(v)
+        if f.is_integer():
+            return int(f)
+        return round(f, 3)
+
+    def _constant(self, table: str, column: str, wire: bool) -> int | float:
+        pool = list(self._pool(table, column))
+        dtype = np.asarray(self.store.table(table)[column]).dtype
+        if dtype.kind == "f":
+            pool += [self._lit(self.rng.normal(0, 4))]
+            if not wire and self.rng.random() < 0.25:
+                return float("nan")
+        if self.rng.random() < 0.3:
+            value = self._lit(self.rng.integers(-5, 50))
+        else:
+            value = pool[int(self.rng.integers(0, len(pool)))]
+        if dtype == np.float32 and isinstance(value, float):
+            # Snap to a float32-exact constant: NEP-50 weak promotion
+            # compares float32 columns against Python floats in float32,
+            # while the row-at-a-time reference compares in float64 —
+            # exact constants make both orderings agree.
+            value = float(np.float32(value))
+        return value
+
+    # -- expression sampling ------------------------------------------------
+
+    def sample_expr_spec(
+        self, table: str, depth: int = 2, wire: bool = False
+    ) -> dict:
+        r = self.rng.random()
+        if depth <= 0 or r < 0.45:
+            column = self._choice(FILTER_COLUMNS[table])
+            if self.rng.random() < 0.25:
+                n = int(self.rng.integers(0 if not wire else 1, 5))
+                values = sorted(
+                    {self._lit(self._constant(table, column, wire=True))
+                     for _ in range(n)}
+                )
+                if wire and not values:
+                    values = [0]
+                return {"kind": "isin", "column": column, "values": values}
+            return {
+                "kind": "cmp",
+                "column": column,
+                "op": self._choice(CMP_OPS),
+                "value": self._constant(table, column, wire),
+            }
+        if not wire and r < 0.60:
+            return {"kind": "not",
+                    "a": self.sample_expr_spec(table, depth - 1, wire)}
+        kind = "and" if (wire or self.rng.random() < 0.6) else "or"
+        return {
+            "kind": kind,
+            "a": self.sample_expr_spec(table, depth - 1, wire),
+            "b": self.sample_expr_spec(table, depth - 1, wire),
+        }
+
+    def _choice(self, seq):
+        return seq[int(self.rng.integers(0, len(seq)))]
+
+    # -- case sampling ------------------------------------------------------
+
+    def sample_case(self) -> dict:
+        table = "mentions" if self.rng.random() < 0.72 else "events"
+        wire = self.rng.random() < 0.6
+        where = None
+        if self.rng.random() < 0.85:
+            depth = int(self.rng.integers(1, 4))
+            where = self.sample_expr_spec(table, depth, wire=wire)
+        time_range = None
+        if table == "mentions" and self.rng.random() < 0.25:
+            lo = int(self.rng.integers(0, self.spec.span))
+            hi = lo + int(self.rng.integers(0, self.spec.span // 2))
+            time_range = [lo, hi]
+
+        group_by = None
+        if self.rng.random() < 0.6:
+            group_by = self._choice(GROUP_KEYS[table])
+        if group_by is None:
+            op = self._choice(("count", "sum", "mean"))
+        else:
+            op = self._choice(("count", "sum", "mean", "stats", "top"))
+        column = None
+        if op in ("sum", "mean", "stats"):
+            column = self._choice(INT_AGG_COLUMNS[table])
+        k = None
+        if op == "top":
+            k = int(self._choice((1, 2, 5, 1000)))
+        return {
+            "table": table,
+            "where": where,
+            "time_range": time_range,
+            "op": op,
+            "column": column,
+            "group_by": group_by,
+            "k": k,
+        }
+
+
+def sample_store_spec(rng: np.random.Generator, index: int, base_seed: int) -> StoreSpec:
+    """The ``index``-th store configuration of a fuzz campaign."""
+    chunk = (64, 128, 256, 512, 100)[index % 5]
+    return StoreSpec(
+        seed=base_seed * 1_000 + index,
+        n_events=int(rng.integers(50, 500)),
+        n_mentions=int(rng.integers(200, 2000)),
+        n_sources=int(rng.integers(8, 64)),
+        zone_chunk_rows=chunk,
+        nan_frac=float(rng.choice([0.0, 0.05, 0.2])),
+        dangling_frac=float(rng.choice([0.0, 0.05, 0.3])),
+        constant_confidence=bool(rng.random() < 0.2),
+        empty_mentions=False,
+    )

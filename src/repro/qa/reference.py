@@ -1,0 +1,168 @@
+"""The oracle's independent answer: a row-at-a-time reference engine.
+
+Filters are interpreted per row straight off the JSON expression spec
+(never through :class:`repro.engine.expr.Expr`), aggregates accumulate
+in arbitrary-precision Python integers row by row, and the grouped
+terminals re-derive their outputs with per-group Python loops.  Only
+the group-*key* derivations (quarter arithmetic, the TLD country rule,
+the mention→event join) are taken from the store — the fuzzer is a
+differential test of the query surfaces, not of calendar math.
+
+Float contract mirrored from the engine (documented, not incidental):
+
+* sums and means are float64; integer columns are exact below 2**53,
+  which is why the generator aggregates integers only;
+* empty means are NaN; empty-group min/max are the value dtype's
+  iinfo extremes (±inf for floats);
+* medians average the two middle values in float64;
+* ``top`` orders by descending count then ascending key, dropping
+  zero-count groups.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["reference_mask", "reference_value"]
+
+
+def _eval_row(spec: dict, row: dict) -> bool:
+    kind = spec["kind"]
+    if kind == "cmp":
+        x = row[spec["column"]]
+        v = spec["value"]
+        op = spec["op"]
+        if op == ">":
+            return bool(x > v)
+        if op == ">=":
+            return bool(x >= v)
+        if op == "<":
+            return bool(x < v)
+        if op == "<=":
+            return bool(x <= v)
+        if op == "==":
+            return bool(x == v)
+        return bool(x != v)
+    if kind == "isin":
+        x = row[spec["column"]]
+        return any(bool(x == v) for v in spec["values"])
+    if kind == "and":
+        return _eval_row(spec["a"], row) and _eval_row(spec["b"], row)
+    if kind == "or":
+        return _eval_row(spec["a"], row) or _eval_row(spec["b"], row)
+    if kind == "not":
+        return not _eval_row(spec["a"], row)
+    raise ValueError(f"unknown expr spec kind {kind!r}")
+
+
+def reference_mask(table: dict, case: dict) -> np.ndarray:
+    """Row-at-a-time selection mask for a case over raw table columns."""
+    n = len(next(iter(table.values()))) if table else 0
+    out = np.zeros(n, dtype=bool)
+    spec = case.get("where")
+    tr = case.get("time_range")
+    cols = {name: table[name] for name in _used_columns(spec)}
+    interval = table.get("MentionInterval") if tr is not None else None
+    for i in range(n):
+        if tr is not None:
+            t = interval[i]
+            if not (tr[0] <= t < tr[1]):
+                continue
+        if spec is not None:
+            row = {name: arr[i] for name, arr in cols.items()}
+            if not _eval_row(spec, row):
+                continue
+        out[i] = True
+    return out
+
+
+def _used_columns(spec: dict | None) -> set[str]:
+    if spec is None:
+        return set()
+    kind = spec["kind"]
+    if kind in ("cmp", "isin"):
+        return {spec["column"]}
+    if kind == "not":
+        return _used_columns(spec["a"])
+    return _used_columns(spec["a"]) | _used_columns(spec["b"])
+
+
+def _int_sentinel(dtype: np.dtype, largest: bool):
+    if np.issubdtype(dtype, np.integer):
+        info = np.iinfo(dtype)
+        return info.max if largest else info.min
+    return np.inf if largest else -np.inf
+
+
+def reference_value(store, case: dict):
+    """Execute a case the slow, obvious way and return its exact value."""
+    table = store.table(case["table"])
+    mask = reference_mask(table, case)
+    op = case["op"]
+    column = case.get("column")
+    group_by = case.get("group_by")
+    values = table[column] if column is not None else None
+
+    if group_by is None:
+        if op == "count":
+            return int(sum(1 for m in mask if m))
+        total = 0
+        n = 0
+        for i, m in enumerate(mask):
+            if m:
+                total += int(values[i])
+                n += 1
+        if op == "sum":
+            return float(total)
+        return float(total) / n if n else float("nan")
+
+    _canon, keys, n_groups = store.group_key(case["table"], group_by)
+    counts = [0] * n_groups
+    sums = [0] * n_groups
+    per_group: list[list] = [[] for _ in range(n_groups)]
+    for i, m in enumerate(mask):
+        if not m:
+            continue
+        g = int(keys[i])
+        if g < 0:
+            continue
+        counts[g] += 1
+        if values is not None:
+            v = values[i]
+            sums[g] += int(v)
+            per_group[g].append(v)
+
+    if op == "count":
+        return np.asarray(counts, dtype=np.int64)
+    if op == "sum":
+        return np.asarray(sums, dtype=np.float64)
+    if op == "mean":
+        c = np.asarray(counts, dtype=np.int64)
+        s = np.asarray(sums, dtype=np.float64)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            return np.where(c > 0, s / c, np.nan)
+    if op == "stats":
+        dtype = np.asarray(values).dtype
+        mins = np.full(n_groups, _int_sentinel(dtype, largest=True), dtype=dtype)
+        maxs = np.full(n_groups, _int_sentinel(dtype, largest=False), dtype=dtype)
+        means = np.full(n_groups, np.nan)
+        medians = np.full(n_groups, np.nan)
+        for g, vals in enumerate(per_group):
+            if not vals:
+                continue
+            mins[g] = min(vals)
+            maxs[g] = max(vals)
+            means[g] = float(sums[g]) / counts[g]
+            ordered = sorted(float(v) for v in vals)
+            c = len(ordered)
+            medians[g] = (ordered[(c - 1) // 2] + ordered[c // 2]) / 2.0
+        return {"min": mins, "max": maxs, "mean": means, "median": medians}
+    if op == "top":
+        k = int(case["k"])
+        order = sorted(range(n_groups), key=lambda g: (-counts[g], g))[:k]
+        order = [g for g in order if counts[g] > 0]
+        return {
+            "keys": np.asarray(order, dtype=np.int64),
+            "counts": np.asarray([counts[g] for g in order], dtype=np.int64),
+        }
+    raise ValueError(f"unknown op {op!r}")

@@ -1,0 +1,211 @@
+"""Greedy minimizer + replayable corpus files.
+
+When the oracle finds a mismatch, the shrinker makes the repro as small
+as it can while the *same surface* still disagrees with the reference:
+halving store sizes, coarsening chunking, simplifying the expression
+tree (replace a node by a child, drop ``isin`` values), and dropping
+``time_range``/the filter entirely.  The result is written to
+``tests/fuzz_corpus/<name>.json`` — a self-contained document::
+
+    {"version": 1,
+     "note":     "<what this pinned>",
+     "surfaces": ["pruned"],
+     "store":    {<StoreSpec fields>},
+     "case":     {<case dict>},
+     "expect":   "<canonical reference JSON>"}
+
+Replaying rebuilds the store from the seeded spec (numpy Generator
+streams are stable) and re-asserts every listed surface against the
+reference — and the reference against the recorded bytes, which trips
+if the generator itself ever drifts.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+from pathlib import Path
+
+from repro.qa.generator import StoreSpec
+from repro.qa.oracle import Mismatch, Oracle, OracleInfraError, StoreHarness
+from repro.qa.reference import reference_value
+
+__all__ = [
+    "shrink_case",
+    "write_corpus_entry",
+    "load_corpus_entry",
+    "replay_corpus_entry",
+    "CORPUS_VERSION",
+]
+
+CORPUS_VERSION = 1
+MAX_SHRINK_STEPS = 60
+
+
+def _case_variants(case: dict):
+    """Simpler candidate cases, most aggressive first."""
+    if case.get("time_range") is not None:
+        yield dict(case, time_range=None)
+    spec = case.get("where")
+    if spec is not None:
+        yield dict(case, where=None)
+        for variant in _spec_variants(spec):
+            yield dict(case, where=variant)
+    if case.get("group_by") is not None and case["op"] in ("count", "sum", "mean"):
+        yield dict(case, group_by=None)
+    if case["op"] == "top" and int(case.get("k") or 0) > 1:
+        yield dict(case, k=1)
+
+
+def _spec_variants(spec: dict):
+    """Smaller expression trees (child promotion, pruned isin, ...)."""
+    kind = spec["kind"]
+    if kind in ("and", "or"):
+        yield spec["a"]
+        yield spec["b"]
+        for sub in _spec_variants(spec["a"]):
+            yield dict(spec, a=sub)
+        for sub in _spec_variants(spec["b"]):
+            yield dict(spec, b=sub)
+    elif kind == "not":
+        yield spec["a"]
+        for sub in _spec_variants(spec["a"]):
+            yield dict(spec, a=sub)
+    elif kind == "isin" and len(spec["values"]) > 1:
+        for i in range(len(spec["values"])):
+            smaller = list(spec["values"])
+            del smaller[i]
+            yield dict(spec, values=smaller)
+
+
+def _store_variants(spec: StoreSpec):
+    """Smaller store specs (halved sizes, simplified knobs)."""
+    if spec.n_mentions > 20:
+        yield StoreSpec(**dict(spec.to_dict(), n_mentions=spec.n_mentions // 2))
+    if spec.n_events > 10:
+        yield StoreSpec(**dict(spec.to_dict(), n_events=spec.n_events // 2))
+    if spec.n_sources > 4:
+        yield StoreSpec(**dict(spec.to_dict(), n_sources=spec.n_sources // 2))
+    if spec.nan_frac:
+        yield StoreSpec(**dict(spec.to_dict(), nan_frac=0.0))
+    if spec.dangling_frac:
+        yield StoreSpec(**dict(spec.to_dict(), dangling_frac=0.0))
+    if spec.constant_confidence:
+        yield StoreSpec(**dict(spec.to_dict(), constant_confidence=False))
+
+
+def _still_fails(
+    spec: StoreSpec, case: dict, surface: str, tmp_dir: str | Path | None
+) -> bool:
+    """Rebuild from scratch and re-check one surface against reference."""
+    heavy = surface in ("shard", "remote", "view")
+    if heavy:
+        # Each harness build splits shards to disk; never reuse a dir.
+        tmp_dir = tempfile.mkdtemp(
+            prefix="shrink-", dir=str(tmp_dir) if tmp_dir else None
+        )
+    try:
+        with StoreHarness(spec, tmp_dir=tmp_dir, heavy=heavy) as harness:
+            oracle = Oracle(harness)
+            return bool(oracle.check_case(case, surfaces=(surface,)))
+    except OracleInfraError:
+        return False
+    except Exception:
+        # A variant that crashes a surface is a different repro; the
+        # shrinker only follows the original wrong-answer signal.
+        return False
+
+
+def shrink_case(
+    mismatch: Mismatch, tmp_dir: str | Path | None = None
+) -> tuple[StoreSpec, dict]:
+    """Greedily minimize a mismatch's (store spec, case) pair.
+
+    Every accepted step re-synthesizes the store from scratch and
+    re-runs the failing surface, so the returned repro is known-failing
+    at return time, not inferred.
+    """
+    spec = StoreSpec.from_dict(mismatch.store_spec)
+    case = dict(mismatch.case)
+    surface = mismatch.surface
+    for _ in range(MAX_SHRINK_STEPS):
+        for candidate in _case_variants(case):
+            if _still_fails(spec, candidate, surface, tmp_dir):
+                case = candidate
+                break
+        else:
+            for candidate_spec in _store_variants(spec):
+                if _still_fails(candidate_spec, case, surface, tmp_dir):
+                    spec = candidate_spec
+                    break
+            else:
+                break  # fixed point: nothing simpler still fails
+            continue
+    return spec, case
+
+
+# -- corpus files ------------------------------------------------------------
+
+
+def write_corpus_entry(
+    corpus_dir: str | Path,
+    name: str,
+    spec: StoreSpec,
+    case: dict,
+    surfaces: list[str],
+    note: str,
+    expect: str | None = None,
+) -> Path:
+    corpus_dir = Path(corpus_dir)
+    corpus_dir.mkdir(parents=True, exist_ok=True)
+    doc = {
+        "version": CORPUS_VERSION,
+        "note": note,
+        "surfaces": list(surfaces),
+        "store": spec.to_dict(),
+        "case": case,
+        "expect": expect,
+    }
+    path = corpus_dir / f"{name}.json"
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_corpus_entry(path: str | Path) -> dict:
+    doc = json.loads(Path(path).read_text())
+    if int(doc.get("version", 0)) != CORPUS_VERSION:
+        raise ValueError(f"unsupported corpus version in {path}")
+    return doc
+
+
+def replay_corpus_entry(
+    path: str | Path, tmp_dir: str | Path | None = None
+) -> list[Mismatch]:
+    """Re-run a corpus repro; the empty list means the bug stays fixed."""
+    from repro.qa.oracle import canon
+
+    doc = load_corpus_entry(path)
+    spec = StoreSpec.from_dict(doc["store"])
+    case = doc["case"]
+    surfaces = tuple(doc["surfaces"])
+    heavy = any(s in ("shard", "remote", "view") for s in surfaces)
+    if heavy:
+        tmp_dir = tempfile.mkdtemp(
+            prefix="replay-", dir=str(tmp_dir) if tmp_dir else None
+        )
+    with StoreHarness(spec, tmp_dir=tmp_dir, heavy=heavy) as harness:
+        mismatches = Oracle(harness).check_case(case, surfaces=surfaces)
+        if doc.get("expect") is not None:
+            got = canon(reference_value(harness.store, case))
+            if got != doc["expect"]:
+                mismatches.append(
+                    Mismatch(
+                        surface="reference",
+                        store_spec=spec.to_dict(),
+                        case=case,
+                        expected=doc["expect"],
+                        got=got,
+                        detail="reference drifted from recorded corpus bytes",
+                    )
+                )
+    return mismatches

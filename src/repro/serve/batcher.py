@@ -227,7 +227,7 @@ class ExecutableOp:
                 v = np.concatenate([p[1] for p in parts])
             else:
                 k = np.zeros(0, dtype=np.int64)
-                v = np.zeros(0)
+                v = np.zeros(0, dtype=self.table[column].dtype)
             if partials:
                 # Compacted passing pairs, in row order: the shard-side
                 # half of the stats reduce.  The router concatenates

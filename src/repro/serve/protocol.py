@@ -120,11 +120,14 @@ def negotiate_hello(obj: dict, capabilities: tuple[str, ...] = CAPABILITIES) -> 
 
 
 def _table_bounds(store, table: str) -> dict:
-    """Per-column ``{min, max, nulls}`` aggregated over the zone maps.
+    """Per-column ``{min, max, nulls, dtype}`` aggregated over the zone maps.
 
     One entry per zone-mapped column: the table-level interval a router
     can run the planner's ``Expr.prune_chunks`` analysis against, with
-    the whole backend as a single "chunk".
+    the whole backend as a single "chunk".  ``dtype`` is the column's
+    numpy dtype name — a router needs it to build the exact zero value
+    of a group-``stats`` query whose every shard was pruned (the
+    empty-group sentinels depend on it).
     """
     import numpy as np
 
@@ -133,6 +136,10 @@ def _table_bounds(store, table: str) -> dict:
         zm = store.zone_maps(table)
     except Exception:  # array store with 0 rows, unreadable maps, ...
         return out
+    try:
+        columns = store.table(table)
+    except Exception:
+        columns = {}
     for name, mins in zm.mins.items():
         mins = np.asarray(mins, dtype=np.float64)
         maxs = np.asarray(zm.maxs[name], dtype=np.float64)
@@ -142,7 +149,11 @@ def _table_bounds(store, table: str) -> dict:
         with np.errstate(invalid="ignore"):
             lo = float(np.nanmin(mins)) if not np.all(np.isnan(mins)) else None
             hi = float(np.nanmax(maxs)) if not np.all(np.isnan(maxs)) else None
-        out[name] = {"min": lo, "max": hi, "nulls": int(nulls.sum())}
+        entry = {"min": lo, "max": hi, "nulls": int(nulls.sum())}
+        arr = columns.get(name)
+        if arr is not None:
+            entry["dtype"] = np.asarray(arr).dtype.name
+        out[name] = entry
     return out
 
 

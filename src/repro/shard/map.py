@@ -126,6 +126,23 @@ class ShardMap:
         ]
         return max(vals) if vals else None
 
+    def column_dtype(self, table: str, column: str) -> str | None:
+        """The column's numpy dtype name, if every shard agrees on it.
+
+        Needed to build the exact zero value of a group-``stats`` query
+        whose every shard was pruned: the empty-group min/max sentinels
+        are iinfo extremes for integer columns but ±inf for floats, so
+        the dtype decides the bytes.  Older shards without the meta
+        field (or disagreeing shards) return ``None``.
+        """
+        names = set()
+        for s in self.shards:
+            bounds = s.columns(table).get(column)
+            if bounds is None or bounds.get("dtype") is None:
+                return None
+            names.add(bounds["dtype"])
+        return names.pop() if len(names) == 1 else None
+
     def column_n_groups(self, table: str, column: str) -> int | None:
         """Cardinality of a raw integer-column group key from the zone
         bounds (mirrors :meth:`GdeltStore.group_key`'s fallback)."""

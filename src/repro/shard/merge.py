@@ -146,6 +146,22 @@ def merge_parts(
     raise ValueError(f"unmergeable grouped op {op!r}")
 
 
-def zero_value(op: str, group_by: str | None, k: int | None, n_groups: int | None):
-    """The value of a query no shard can contain (all pruned/empty)."""
+def zero_value(
+    op: str,
+    group_by: str | None,
+    k: int | None,
+    n_groups: int | None,
+    dtype: str | None = None,
+):
+    """The value of a query no shard can contain (all pruned/empty).
+
+    ``dtype`` (a numpy dtype name) matters only for grouped ``stats``:
+    the empty-group min/max sentinels are iinfo extremes for integer
+    value columns but ±inf for floats, so a caller that knows the
+    column's dtype must pass it to get the same bytes a shard that
+    scanned-and-matched-nothing would have produced.
+    """
+    if op == "stats" and group_by is not None and dtype is not None:
+        part = {"keys": [], "values": [], "dtype": dtype}
+        return merge_parts(op, group_by, k, [part], n_groups)
     return merge_parts(op, group_by, k, [], n_groups)

@@ -120,10 +120,10 @@ class ShardRouter:
         breakers: per-shard circuit breakers (class = shard id); a
             fresh board by default.
 
-    Known caveat: a group-``stats`` query whose every shard was pruned
-    answers from :func:`~repro.shard.merge.zero_value` with float64
-    sentinels — the shards that could have named the column's integer
-    dtype were never asked.
+    A group-``stats`` query whose every shard was pruned answers from
+    :func:`~repro.shard.merge.zero_value` seeded with the value
+    column's dtype (from the shard meta), so its empty-group sentinels
+    are byte-identical to a scanned run's.
     """
 
     def __init__(
@@ -261,10 +261,26 @@ class ShardRouter:
         shards are passed over.  A shed from a live replica is passed
         through verbatim (the next replica holds the same data but the
         shed is about *load*, and its retry hint is already correct).
+
+        Grouped ops go through the partials wire and a one-part
+        :func:`~repro.shard.merge.merge_parts` rather than taking the
+        replica's value verbatim: derived group domains (quarters) are
+        computed from a store's *mention* slice too, so a replica whose
+        mentions stop early would answer with fewer trailing empty
+        groups than the global width — padding through the merge keeps
+        the single-replica path byte-identical to an unsharded store.
         """
         self._count("single_shard")
         _metrics.histogram("shard_fanout").observe(1)
         targets, _skipped = self.map.route(request.table)
+        grouped = request.group_by is not None
+        n_groups = None
+        if grouped:
+            n_groups = self.map.global_n_groups(request.table, request.group_by)
+            if n_groups is None:
+                n_groups = self.map.column_n_groups(
+                    request.table, request.group_by
+                )
         sub_deadline, expired = self._sub_deadline(request, time.monotonic())
         if expired:
             return self._shed_deadline()
@@ -274,11 +290,16 @@ class ShardRouter:
             if not allowed:
                 continue
             kind, payload = self._call_shard(
-                shard, request, conjuncts, sub_deadline, partials=False
+                shard, request, conjuncts, sub_deadline, partials=grouped
             )
             if kind == "ok":
                 self.breakers.success(shard.shard_id)
                 value, stats = payload
+                if grouped:
+                    value = merge_parts(
+                        request.op, request.group_by, request.k, [value],
+                        n_groups,
+                    )
                 stats = dict(stats, fanout=1, routed_shard=shard.shard_id)
                 return QueryResponse(status="ok", value=value, stats=stats)
             if kind == "shed":
@@ -315,10 +336,17 @@ class ShardRouter:
 
         if not targets:
             # Pruning answered the query: no shard can hold a matching
-            # row, so the op's zero value IS the exact result.
+            # row, so the op's zero value IS the exact result.  Seed the
+            # stats zero with the value column's dtype from the shard
+            # meta so its empty-group sentinels match a scanned run.
             self._count("zero_fanout")
             _metrics.histogram("shard_fanout").observe(0)
-            value = zero_value(request.op, request.group_by, request.k, n_groups)
+            dtype = None
+            if request.op == "stats" and request.column is not None:
+                dtype = self.map.column_dtype(request.table, request.column)
+            value = zero_value(
+                request.op, request.group_by, request.k, n_groups, dtype=dtype
+            )
             return QueryResponse(
                 status="ok",
                 value=value,

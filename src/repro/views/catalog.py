@@ -79,7 +79,7 @@ class ViewState:
 
     __slots__ = (
         "definition", "store_token", "store_generation", "rows_total",
-        "n_groups", "segments", "retracted", "refreshed_unix",
+        "n_groups", "value_dtype", "segments", "retracted", "refreshed_unix",
         "refresh_count", "last_refresh_s", "last_delta_rows", "last_error",
     )
 
@@ -91,6 +91,10 @@ class ViewState:
         self.rows_total: int = 0
         #: Global group width at the last refresh (grouped views).
         self.n_groups: int = 0
+        #: Aggregated column's dtype name at the last refresh (stats
+        #: views); decides the empty-group sentinels when the table has
+        #: no rows and therefore no segment carries the dtype.
+        self.value_dtype: str | None = None
         self.segments: list[Segment] = []
         #: Retracted ``[lo, hi)`` row ranges (non-servable until rebuilt).
         self.retracted: list[tuple[int, int]] = []
@@ -105,10 +109,13 @@ class ViewState:
     def value(self):
         """Finalize the view: exact merge of retained segments in row order."""
         d = self.definition
-        return merge_parts(
-            d.op, d.group_by, d.k, segment_parts(self.segments),
-            self.n_groups or None,
-        )
+        parts = segment_parts(self.segments)
+        if not parts and d.op == "stats" and self.value_dtype is not None:
+            # Zero segments (empty table): seed the merge with the
+            # recorded column dtype so the empty-group sentinels match
+            # what a scanned store would have answered.
+            parts = [{"keys": [], "values": [], "dtype": self.value_dtype}]
+        return merge_parts(d.op, d.group_by, d.k, parts, self.n_groups or None)
 
     def fresh_for(self, store) -> bool:
         """True when this view answers queries against ``store`` exactly."""
@@ -156,6 +163,7 @@ class ViewState:
                 "generation": self.store_generation,
                 "rows": self.rows_total,
                 "n_groups": self.n_groups,
+                "value_dtype": self.value_dtype,
             },
             "segments": [s.to_dict() for s in self.segments],
             "retracted": [list(r) for r in self.retracted],
@@ -173,6 +181,7 @@ class ViewState:
         state.store_generation = int(meta.get("generation", 0))
         state.rows_total = int(meta.get("rows", 0))
         state.n_groups = int(meta.get("n_groups", 0))
+        state.value_dtype = meta.get("value_dtype")
         state.segments = [Segment.from_dict(s) for s in raw.get("segments", [])]
         state.retracted = [
             (int(lo), int(hi)) for lo, hi in raw.get("retracted", [])
@@ -379,6 +388,10 @@ class ViewCatalog:
                 state.store_generation = gen
                 state.rows_total = rows_now
                 state.n_groups = int(n_groups)
+                if d.op == "stats" and d.column is not None:
+                    arr = store.table(d.table).get(d.column)
+                    if arr is not None:
+                        state.value_dtype = arr.dtype.name
                 state.refreshed_unix = time.time()
                 state.refresh_count += 1
                 state.last_delta_rows = rows_now - base_rows

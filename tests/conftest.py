@@ -10,6 +10,7 @@ must not mutate store arrays.
 from __future__ import annotations
 
 import datetime as dt
+import os
 
 import numpy as np
 import pytest
@@ -18,6 +19,12 @@ from repro import faults
 from repro.engine import GdeltStore
 from repro.ingest.direct import dataset_to_arrays
 from repro.synth import SynthConfig, generate_dataset, tiny_config, write_raw_archives
+
+#: One knob for every randomized test in the suite.  Override with
+#: ``REPRO_TEST_SEED=<n>`` to chase a seed-dependent failure; the value
+#: is printed per-test (pytest shows captured stdout on failure), so a
+#: red randomized test always names the seed that reproduces it.
+TEST_SEED = int(os.environ.get("REPRO_TEST_SEED", "1234"))
 
 
 @pytest.fixture(scope="session", autouse=True)
@@ -52,6 +59,25 @@ def tiny_store(tiny_ds):
 
 
 @pytest.fixture(scope="session")
+def tiny_arrays(tiny_ds):
+    """``(events, mentions, dicts)`` arrays of the tiny corpus (no URLs).
+
+    Converting the dataset is the expensive half of building a store, so
+    modules that want their own chunking build from these shared arrays
+    instead of re-deriving them.
+    """
+    return dataset_to_arrays(tiny_ds)
+
+
+@pytest.fixture(scope="session")
+def tiny_zstore(tiny_arrays):
+    """Fine-chunked store (512-row zone maps) so pruning has chunks to
+    skip.  Session-scoped and read-only, like every shared store."""
+    events, mentions, dicts = tiny_arrays
+    return GdeltStore.from_arrays(events, mentions, dicts, zone_chunk_rows=512)
+
+
+@pytest.fixture(scope="session")
 def raw_config():
     """A short-window config small enough for raw TSV round trips."""
     return SynthConfig(
@@ -77,4 +103,5 @@ def raw_dir(raw_ds, tmp_path_factory):
 
 @pytest.fixture()
 def rng():
-    return np.random.default_rng(1234)
+    print(f"REPRO_TEST_SEED={TEST_SEED}")
+    return np.random.default_rng(TEST_SEED)

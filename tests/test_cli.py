@@ -346,3 +346,77 @@ class TestServeCommands:
         assert report["overload"]["shed"] > 0
         assert set(report["served"]["latency_s"]) == {"p50", "p95", "p99"}
         assert "speedup" in capsys.readouterr().out
+
+
+class TestVerifyCommand:
+    """Exit codes and messages of ``repro-gdelt verify``."""
+
+    def test_clean_dataset_is_ok(self, tiny_binary, capsys):
+        assert main(["verify", str(tiny_binary)]) == 0
+        out = capsys.readouterr().out
+        assert "OK: all files present" in out
+
+    def test_missing_dataset_fails_with_manifest_issue(self, tmp_path, capsys):
+        rc = main(["verify", str(tmp_path / "nowhere")])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "FAILED" in out
+        assert "manifest.json missing" in out
+
+    def test_corrupt_column_fails_with_crc_issue(
+        self, tiny_binary, tmp_path, capsys
+    ):
+        import shutil
+
+        from repro.storage.format import column_path
+
+        db = tmp_path / "db"
+        shutil.copytree(tiny_binary, db)
+        victim = column_path(db, "mentions", "Confidence")
+        raw = bytearray(victim.read_bytes())
+        raw[0] ^= 0xFF
+        victim.write_bytes(bytes(raw))
+        rc = main(["verify", str(db)])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "FAILED" in out
+        assert "crc" in out
+        assert "Confidence" in out
+
+    def test_json_report_shape_on_truncation(self, tiny_binary, tmp_path, capsys):
+        import json as _json
+        import shutil
+
+        from repro.storage.format import column_path
+
+        db = tmp_path / "db"
+        shutil.copytree(tiny_binary, db)
+        victim = column_path(db, "mentions", "Delay")
+        victim.write_bytes(victim.read_bytes()[:-8])
+        rc = main(["verify", str(db), "--json"])
+        assert rc == 1
+        doc = _json.loads(capsys.readouterr().out)
+        assert doc["ok"] is False
+        assert any(issue["kind"] == "size" for issue in doc["issues"])
+
+
+class TestViewCommandErrors:
+    """``repro-gdelt view`` maps user errors to exit code 2 + stderr."""
+
+    def test_refresh_against_missing_dataset(self, tmp_path, capsys):
+        views = tmp_path / "views"
+        assert main(["view", "create", str(views), "v1"]) == 0
+        rc = main(["view", "refresh", str(views), str(tmp_path / "nope")])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "not a dataset" in err
+
+    def test_create_invalid_definition(self, tmp_path, capsys):
+        rc = main(["view", "create", str(tmp_path / "views"), "bad name!"])
+        assert rc == 2
+        assert capsys.readouterr().err  # reason reaches stderr
+
+    def test_drop_unknown_view(self, tmp_path, capsys):
+        rc = main(["view", "drop", str(tmp_path / "views"), "ghost"])
+        assert rc == 2
+        assert "ghost" in capsys.readouterr().err

@@ -27,10 +27,9 @@ from repro.engine import (
     result_cache,
 )
 from repro.gdelt.time_util import quarter_index_range
-from repro.ingest.direct import dataset_to_arrays, dataset_to_binary
+from repro.ingest.direct import dataset_to_binary
 from repro.storage.format import FORMAT_VERSION, manifest_path
 from repro.storage.stats import ZoneMaps, compute_zone_maps
-from repro.synth import generate_dataset, tiny_config
 
 
 CHUNK = 256
@@ -142,10 +141,9 @@ class TestPruneSoundness:
 
 
 @pytest.fixture(scope="module")
-def zstore():
-    """Tiny corpus with fine-grained zone maps so pruning has chunks."""
-    events, mentions, dicts = dataset_to_arrays(generate_dataset(tiny_config()))
-    return GdeltStore.from_arrays(events, mentions, dicts, zone_chunk_rows=512)
+def zstore(tiny_zstore):
+    """The shared fine-chunked store (session fixture in conftest)."""
+    return tiny_zstore
 
 
 @pytest.fixture()
@@ -395,9 +393,9 @@ class TestQuerySurface:
 
 
 class TestManifestBackfill:
-    def test_v3_dataset_is_backfilled_to_v4(self, tmp_path):
+    def test_v3_dataset_is_backfilled_to_v4(self, tmp_path, tiny_ds):
         db = tmp_path / "db"
-        dataset_to_binary(generate_dataset(tiny_config()), db)
+        dataset_to_binary(tiny_ds, db)
 
         # Rewrite the manifest as a v3 dataset: no zone maps.
         mpath = manifest_path(db)
@@ -428,11 +426,9 @@ class TestManifestBackfill:
                 zm.maxs[name], zm2.maxs[name], equal_nan=True
             )
 
-    def test_v4_roundtrip_prunes_from_disk(self, tmp_path):
+    def test_v4_roundtrip_prunes_from_disk(self, tmp_path, tiny_ds):
         db = tmp_path / "db"
-        dataset_to_binary(
-            generate_dataset(tiny_config()), db, zone_chunk_rows=512
-        )
+        dataset_to_binary(tiny_ds, db, zone_chunk_rows=512)
         store = GdeltStore.open(db)
         res = store.query("mentions").filter(_interval_pred()).count()
         assert res.plan.pruning == "zone-map"

@@ -28,7 +28,6 @@ import pytest
 
 from repro.engine import GdeltStore, col
 from repro.ingest import LiveFollower
-from repro.ingest.direct import dataset_to_arrays
 from repro.serve import (
     QueryService,
     ServeServer,
@@ -72,13 +71,9 @@ def wait_until(check, timeout_s: float = 10.0, interval_s: float = 0.02):
 
 
 @pytest.fixture(scope="module")
-def tiny_arrays(tiny_ds):
-    return dataset_to_arrays(tiny_ds)
-
-
-@pytest.fixture(scope="module")
 def zstore(tiny_arrays):
-    """Multi-chunk store (small zone chunks) over the tiny corpus."""
+    """Multi-chunk store (small zone chunks) over the shared tiny
+    arrays (session ``tiny_arrays`` fixture in conftest)."""
     events, mentions, dicts = tiny_arrays
     return GdeltStore.from_arrays(
         events, mentions, dicts, zone_chunk_rows=ZONE_CHUNK_ROWS
